@@ -1,0 +1,60 @@
+//! Criterion end-to-end query benchmarks: suffix-range search and
+//! extraction on a Singapore-2-like corpus, CiNCT vs each baseline. This
+//! is the Criterion counterpart of the fig10/fig15 harness binaries.
+
+use cinct_bench::{build_variant, sample_patterns, Variant};
+use cinct_bwt::TrajectoryString;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_suffix_range(c: &mut Criterion) {
+    let ds = cinct_datasets::singapore2(0.1);
+    let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+    let patterns = sample_patterns(&ds.trajectories, 20, 100, 42);
+    let encoded: Vec<Vec<u32>> = patterns
+        .iter()
+        .map(|p| TrajectoryString::encode_pattern(p))
+        .collect();
+    let mut group = c.benchmark_group("suffix_range_singapore2");
+    for v in [
+        Variant::Cinct { b: 63 },
+        Variant::Ufmi,
+        Variant::IcbWm { b: 63 },
+        Variant::IcbHuff { b: 63 },
+        Variant::FmGmr,
+        Variant::FmApHyb,
+    ] {
+        let built = build_variant(v, &ts, ds.n_edges());
+        group.bench_function(built.name.clone(), |bch| {
+            bch.iter(|| {
+                let mut acc = 0usize;
+                for e in &encoded {
+                    if let Some(r) = built.index.suffix_range(black_box(e)) {
+                        acc += r.len();
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let ds = cinct_datasets::roma(0.1);
+    let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+    let mut group = c.benchmark_group("extract_roma");
+    for v in [Variant::Cinct { b: 63 }, Variant::Ufmi, Variant::IcbHuff { b: 63 }] {
+        let built = build_variant(v, &ts, ds.n_edges());
+        group.bench_function(built.name.clone(), |bch| {
+            bch.iter(|| built.index.extract(black_box(0), black_box(5_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_suffix_range, bench_extract
+}
+criterion_main!(benches);

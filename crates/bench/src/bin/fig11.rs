@@ -1,0 +1,37 @@
+//! Fig. 11: query length |P| vs suffix-range search time on the Singapore
+//! dataset. All methods grow linearly in |P|; CiNCT has the smallest slope.
+//!
+//! Run: `cargo run -p cinct-bench --release --bin fig11`
+
+use cinct_bench::report::{f2, Table};
+use cinct_bench::{build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, ALL_VARIANTS};
+use cinct_bwt::TrajectoryString;
+
+fn main() {
+    let scale = scale_from_env();
+    let n_queries = queries_from_env();
+    println!("== Fig. 11: |P| vs search time, Singapore (scale={scale}) ==\n");
+    let ds = cinct_datasets::singapore(scale);
+    let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+    let built: Vec<_> = ALL_VARIANTS
+        .iter()
+        .map(|&v| build_variant(v, &ts, ds.n_edges()))
+        .collect();
+    let mut header = vec!["|P|".to_string()];
+    header.extend(built.iter().map(|b| b.name.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for plen in (2..=20).step_by(2) {
+        let patterns = sample_patterns(&ds.trajectories, plen, n_queries, 1000 + plen as u64);
+        let mut row = vec![plen.to_string()];
+        for b in &built {
+            let t = time_queries(b.index.as_ref(), &patterns);
+            row.push(f2(t.mean_us));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!("\n(values: mean microseconds per suffix-range query)");
+    println!("Shape check: linear growth in |P| for all methods; CiNCT has the");
+    println!("slowest growth (paper Fig. 11).");
+}

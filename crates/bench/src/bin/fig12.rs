@@ -1,0 +1,53 @@
+//! Fig. 12: σ-independence. RandWalk data with d̄ = 4, σ swept over
+//! {2^14 … 2^18}, |T| = F·σ symbols. CiNCT's size and search time stay
+//! near-flat while the baselines grow with σ (Theorem 5).
+//!
+//! The paper uses |T| = 800σ; the symbols-per-edge factor is configurable
+//! via `CINCT_SYMBOLS_PER_EDGE` (default 100) to keep laptop runtimes sane.
+//!
+//! Run: `cargo run -p cinct-bench --release --bin fig12`
+
+use cinct_bench::report::{f2, Table};
+use cinct_bench::{build_variant, queries_from_env, sample_patterns, time_queries, ALL_VARIANTS};
+use cinct_bwt::TrajectoryString;
+
+fn main() {
+    let factor: usize = std::env::var("CINCT_SYMBOLS_PER_EDGE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let n_queries = queries_from_env();
+    println!("== Fig. 12: sigma sweep, RandWalk d=4, |T|={factor}*sigma ==\n");
+    let mut size_table = Table::new(&[
+        "sigma", "CiNCT", "CiNCT-w/oET", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB",
+    ]);
+    let mut time_table = Table::new(&[
+        "sigma", "CiNCT", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB",
+    ]);
+    for exp in 14..=18u32 {
+        let sigma = 1usize << exp;
+        let ds = cinct_datasets::randwalk(sigma, 4.0, sigma * factor, exp as u64);
+        let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+        let patterns = sample_patterns(&ds.trajectories, 20, n_queries, exp as u64);
+        let mut sizes = vec![format!("2^{exp}")];
+        let mut times = vec![format!("2^{exp}")];
+        for &v in ALL_VARIANTS.iter() {
+            let built = build_variant(v, &ts, ds.n_edges());
+            let t = time_queries(built.index.as_ref(), &patterns);
+            sizes.push(f2(built.bits_per_symbol()));
+            if let Some(w) = built.size_without_et_graph {
+                sizes.push(f2(w as f64 * 8.0 / built.index.len() as f64));
+            }
+            times.push(f2(t.mean_us));
+        }
+        size_table.row(sizes);
+        time_table.row(times);
+        eprintln!("  done sigma=2^{exp}");
+    }
+    println!("-- index size (bits/symbol) --");
+    size_table.print();
+    println!("\n-- search time (us/query, |P|=20) --");
+    time_table.print();
+    println!("\nShape check (paper Fig. 12): CiNCT stays near-flat in both size");
+    println!("and time as sigma grows; UFMI/ICB grow with lg(sigma).");
+}

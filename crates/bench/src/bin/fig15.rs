@@ -1,0 +1,35 @@
+//! Fig. 15: sub-path extraction time. Each index extracts the entire text
+//! (`l = |T|` from row 0); reported as microseconds per symbol.
+//! (FM-AP-HYB is included here — unlike the paper, our implementation does
+//! support `access` — and serves as an extra data point.)
+//!
+//! Run: `cargo run -p cinct-bench --release --bin fig15`
+
+use cinct_bench::report::{Table};
+use cinct_bench::workload::time_full_extraction;
+use cinct_bench::{build_variant, scale_from_env, ALL_VARIANTS};
+use cinct_bwt::TrajectoryString;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Fig. 15: full-text extraction time (scale={scale}) ==\n");
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(ALL_VARIANTS.iter().map(|v| v.name()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for ds in cinct_datasets::all_table_datasets(scale) {
+        let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+        let mut row = vec![ds.name.to_string()];
+        for &v in ALL_VARIANTS.iter() {
+            let built = build_variant(v, &ts, ds.n_edges());
+            let us_per_sym = time_full_extraction(built.index.as_ref());
+            row.push(format!("{us_per_sym:.3}"));
+        }
+        table.row(row);
+        eprintln!("  done {}", ds.name);
+    }
+    table.print();
+    println!("\n(values: microseconds per extracted symbol)");
+    println!("Shape check (paper Fig. 15): CiNCT extracts fastest — about twice");
+    println!("as fast as UFMI — thanks to the shallow HWT + PseudoRank.");
+}

@@ -1,0 +1,41 @@
+//! Table III: statistics of each dataset — |T|, lg σ, H0(T), H0(φ(T_bwt)),
+//! H1(T), and the ET-graph average out-degree d̄.
+//!
+//! Run: `cargo run -p cinct-bench --release --bin table3`
+//! (`CINCT_SCALE` scales the corpus size.)
+
+use cinct::DatasetStats;
+use cinct_bench::report::{f1, f2, Table};
+use cinct_bench::scale_from_env;
+use cinct_bwt::TrajectoryString;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Table III: dataset statistics (scale={scale}) ==\n");
+    let mut table = Table::new(&[
+        "Dataset", "|T|", "lg s", "H0(T)", "H0(phi)", "H1(T)", "d_bar", "delta",
+    ]);
+    for ds in cinct_datasets::all_table_datasets(scale) {
+        let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+        let s = DatasetStats::compute_from_string(ds.name, &ts);
+        table.row(vec![
+            s.name.clone(),
+            s.text_len.to_string(),
+            f1(s.log2_sigma),
+            f2(s.h0),
+            f2(s.h0_labeled),
+            f2(s.h1),
+            f1(s.avg_out_degree),
+            s.max_out_degree.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nPaper (Table III, full-size data):");
+    println!("  Singapore   53M  15.5  13.8  1.8  1.5  26.8");
+    println!("  Singapore-2 75M  15.5  14.0  1.3  1.1   4.0");
+    println!("  Roma        12M  15.5  13.0  0.9  0.7   2.4");
+    println!("  MO-Gen     193M  17.4  13.0  2.8  2.5   8.8");
+    println!("  Chess       20M  18.8  10.3  2.0  1.4   1.6");
+    println!("\nShape check: H0(phi) << H0(T) on every dataset; Singapore-2's");
+    println!("d_bar collapses to ~4 after gap interpolation.");
+}

@@ -1,0 +1,98 @@
+//! Table IV: compression ratio (uncompressed 32-bit-int size divided by
+//! compressed size; larger is better) of CiNCT vs the baseline
+//! compressors: MEL+Huffman, Re-Pair, bzip2-like, PRESS-like, zip-like.
+//!
+//! Run: `cargo run -p cinct-bench --release --bin table4`
+
+use cinct_bench::report::{f1, Table};
+use cinct_bench::scale_from_env;
+use cinct_bench::variants::build_cinct;
+use cinct_bwt::TrajectoryString;
+use cinct_compressors::{bwz, lz, mel::Mel, repair, sp};
+use cinct_datasets::Dataset;
+use cinct_fmindex::PatternIndex;
+
+/// The uncompressed representation: trajectory symbols + separators as
+/// 32-bit integers (the paper's "binary file of 32-bit integers").
+fn raw_symbols(ds: &Dataset) -> usize {
+    ds.trajectories.iter().map(|t| t.len() + 1).sum()
+}
+
+/// The corpus as one separator-delimited integer stream (for the generic
+/// compressors). Separator = n_edges (out of the edge-ID range).
+fn flat_stream(ds: &Dataset) -> Vec<u32> {
+    let sep = ds.n_edges() as u32;
+    let mut out = Vec::with_capacity(raw_symbols(ds));
+    for t in &ds.trajectories {
+        out.extend_from_slice(t);
+        out.push(sep);
+    }
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Table IV: compression ratio (scale={scale}; larger is better) ==\n");
+    let mut table = Table::new(&[
+        "Dataset", "CiNCT", "MEL", "Re-Pair", "bzip2~", "PRESS~", "zip~",
+    ]);
+    for ds in cinct_datasets::all_table_datasets(scale) {
+        let n = raw_symbols(&ds);
+        let stream = flat_stream(&ds);
+
+        // CiNCT: queryable index size (incl. ET-graph) vs raw size.
+        let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+        let idx = build_cinct(&ts, ds.n_edges(), 63);
+        let cinct_ratio = 32.0 * n as f64 / (idx.size_in_bytes() as f64 * 8.0);
+
+        // MEL is defined only on gap-free data (paper Table IV footnote:
+        // evaluated only for ungapped datasets).
+        let mel_ratio = if ds
+            .trajectories
+            .iter()
+            .all(|t| cinct_network::travel::is_connected_path(&ds.network, t))
+        {
+            let m = Mel::build(&ds.network, &ds.trajectories);
+            Some(m.compressed_size(&ds.network, &ds.trajectories).ratio(n))
+        } else {
+            None
+        };
+
+        let repair_ratio = repair::compress(&stream, ds.n_edges() + 1)
+            .compressed_size()
+            .ratio(n);
+        // Byte-granularity baselines, as the paper ran bzip2/zip on the
+        // raw 32-bit binary file.
+        let bytes = cinct_compressors::as_byte_stream(&stream);
+        let bwz_ratio = bwz::compress(&bytes).compressed_size().ratio(n);
+        // PRESS-like SP coding needs connected paths too.
+        let sp_ratio = if ds
+            .trajectories
+            .iter()
+            .all(|t| cinct_network::travel::is_connected_path(&ds.network, t))
+        {
+            Some(sp::compressed_size(&ds.network, &ds.trajectories).ratio(n))
+        } else {
+            None
+        };
+        let lz_ratio = lz::compressed_size(&bytes).ratio(n);
+
+        let opt = |r: Option<f64>| r.map_or("N/A".to_string(), f1);
+        table.row(vec![
+            ds.name.into(),
+            f1(cinct_ratio),
+            opt(mel_ratio),
+            f1(repair_ratio),
+            f1(bwz_ratio),
+            opt(sp_ratio),
+            f1(lz_ratio),
+        ]);
+        eprintln!("  done {}", ds.name);
+    }
+    table.print();
+    println!("\nPaper (Table IV): CiNCT 10.5/27.0/25.2/25.6/10.3 beats MEL");
+    println!("(15.8/21.2), Re-Pair (8.4-20.6), bzip2 (5.3-13.6), PRESS (4.6),");
+    println!("zip (2.5-5.0).");
+    println!("Shape check: CiNCT wins on the sparse NCT datasets while also");
+    println!("being the only entry that supports pattern matching.");
+}

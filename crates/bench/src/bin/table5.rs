@@ -1,0 +1,37 @@
+//! Table V: 0th-order empirical entropy of the RML label stream vs the MEL
+//! label stream, on the gap-free datasets (the paper reports Singapore-2
+//! and Roma). Theorem 6 guarantees RML ≤ MEL.
+//!
+//! Run: `cargo run -p cinct-bench --release --bin table5`
+
+use cinct::{LabelingStrategy, Rml};
+use cinct_bench::report::{f2, Table};
+use cinct_bench::scale_from_env;
+use cinct_bwt::{bwt, entropy_h0, CArray, TrajectoryString};
+use cinct_compressors::mel::Mel;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Table V: RML vs MEL label entropy (scale={scale}) ==\n");
+    let mut table = Table::new(&["Dataset", "RML H0", "MEL H0", "RML/MEL"]);
+    for ds in [cinct_datasets::singapore2(scale), cinct_datasets::roma(scale)] {
+        let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+        let (_, tbwt) = bwt(ts.text(), ts.sigma());
+        let c = CArray::new(ts.text(), ts.sigma());
+        let rml = Rml::from_text(ts.text(), ts.sigma(), LabelingStrategy::BigramSorted);
+        let h_rml = entropy_h0(&rml.label_bwt(&tbwt, &c));
+        let m = Mel::build(&ds.network, &ds.trajectories);
+        let h_mel = m.label_entropy(&ds.trajectories);
+        table.row(vec![
+            ds.name.into(),
+            f2(h_rml),
+            f2(h_mel),
+            f2(h_rml / h_mel),
+        ]);
+        eprintln!("  done {}", ds.name);
+    }
+    table.print();
+    println!("\nPaper (Table V): Singapore-2 RML 1.26 vs MEL 1.93; Roma 0.76 vs");
+    println!("0.99 — roughly 30% lower entropy for RML.");
+    println!("Shape check: RML < MEL on both datasets (Theorem 6).");
+}

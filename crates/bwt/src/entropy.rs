@@ -1,0 +1,152 @@
+//! Empirical entropy: `H0` (paper Eq. (3)) and `Hk` (paper Eq. (4)).
+//!
+//! These drive the paper's analysis (Theorems 1, 3, 4, 6) and the dataset
+//! statistics in Table III and the labeling comparison in Table V.
+
+use std::collections::HashMap;
+
+/// 0th-order empirical entropy of a sequence, in bits per symbol:
+/// `H0(S) = Σ_w (n_w / n) lg(n / n_w)`.
+pub fn entropy_h0(seq: &[u32]) -> f64 {
+    if seq.is_empty() {
+        return 0.0;
+    }
+    let sigma = seq.iter().copied().max().unwrap() as usize + 1;
+    let mut counts = vec![0u64; sigma];
+    for &s in seq {
+        counts[s as usize] += 1;
+    }
+    h0_of_counts(&counts)
+}
+
+/// `H0` from a symbol histogram.
+pub fn h0_of_counts(counts: &[u64]) -> f64 {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / nf;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// k-th order empirical entropy (Eq. (4)):
+/// `Hk(T) = Σ_{W ∈ Σ^k} (n_W / n) H0(T_W)`
+/// where `T_W` collects the symbols that *precede* each occurrence of the
+/// context `W` in `T` (the paper's convention, matching BWT context blocks).
+///
+/// Contexts are materialised in a hash map keyed by the k-gram, so this is
+/// `O(nk)` time and at most `O(n)` space.
+pub fn entropy_hk(seq: &[u32], k: usize) -> f64 {
+    if k == 0 {
+        return entropy_h0(seq);
+    }
+    if seq.len() <= k {
+        return 0.0;
+    }
+    // For each position i in [0, n-k): symbol seq[i] is preceded... —
+    // following the paper/Manzini: T_W = concatenation of characters
+    // *preceding* occurrences of W. Occurrence of W at position i+1..i+k+1
+    // is preceded by seq[i]. We group seq[i] by the context W = seq[i+1..=i+k].
+    let mut groups: HashMap<&[u32], HashMap<u32, u64>> = HashMap::new();
+    for i in 0..seq.len() - k {
+        let context = &seq[i + 1..i + 1 + k];
+        *groups
+            .entry(context)
+            .or_default()
+            .entry(seq[i])
+            .or_insert(0) += 1;
+    }
+    let n = (seq.len() - k) as f64;
+    let mut h = 0.0;
+    for hist in groups.values() {
+        let counts: Vec<u64> = hist.values().copied().collect();
+        let n_w: u64 = counts.iter().sum();
+        h += (n_w as f64 / n) * h0_of_counts(&counts);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h0_uniform_is_log_sigma() {
+        let seq: Vec<u32> = (0..1024u32).map(|i| i % 8).collect();
+        assert!((entropy_h0(&seq) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h0_constant_is_zero() {
+        assert_eq!(entropy_h0(&[5; 100]), 0.0);
+        assert_eq!(entropy_h0(&[]), 0.0);
+    }
+
+    #[test]
+    fn h0_biased_binary() {
+        // p = 1/4: H = 0.25*2 + 0.75*log2(4/3) ≈ 0.8113.
+        let mut seq = vec![0u32; 750];
+        seq.extend(vec![1u32; 250]);
+        assert!((entropy_h0(&seq) - 0.8112781244591328).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_h0_of_bwt() {
+        // The paper reports H0(T_bwt) = 2.8 bits for the running example
+        // (§III-B2). T_bwt = $AAABDBBCCE$$$F#.
+        let sym = |c: char| -> u32 {
+            match c {
+                '#' => 0,
+                '$' => 1,
+                c => (c as u32 - 'A' as u32) + 2,
+            }
+        };
+        let tbwt: Vec<u32> = "$AAABDBBCCE$$$F#".chars().map(sym).collect();
+        let h = entropy_h0(&tbwt);
+        assert!((h - 2.8).abs() < 0.05, "H0(Tbwt) = {h}");
+    }
+
+    #[test]
+    fn hk_decreases_with_k() {
+        // Markovian data: Hk must be non-increasing in k (paper §II-B1).
+        let mut x = 42u64;
+        let mut seq = vec![0u32];
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let prev = *seq.last().unwrap();
+            // Strong dependence on previous symbol.
+            let next = if (x >> 33) % 10 < 8 {
+                (prev + 1) % 6
+            } else {
+                ((x >> 40) as u32) % 6
+            };
+            seq.push(next);
+        }
+        let h0 = entropy_h0(&seq);
+        let h1 = entropy_hk(&seq, 1);
+        let h2 = entropy_hk(&seq, 2);
+        assert!(h1 <= h0 + 1e-9, "H1={h1} > H0={h0}");
+        assert!(h2 <= h1 + 1e-9, "H2={h2} > H1={h1}");
+        assert!(h1 < h0 - 0.3, "Markov structure should drop entropy");
+    }
+
+    #[test]
+    fn hk_of_deterministic_chain_is_zero() {
+        // Cyclic sequence: next symbol fully determined by the previous.
+        let seq: Vec<u32> = (0..5000u32).map(|i| i % 7).collect();
+        assert!(entropy_hk(&seq, 1) < 1e-9);
+    }
+
+    #[test]
+    fn hk_short_sequences() {
+        assert_eq!(entropy_hk(&[1, 2], 5), 0.0);
+        assert_eq!(entropy_hk(&[1], 1), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! SA-IS: linear-time suffix-array construction over integer alphabets
+//! (Nong, Zhang & Chan, 2009).
+//!
+//! The CiNCT paper computes the BWT of trajectory strings with `sais.hxx`;
+//! this module is the equivalent substrate. The input is a `u32` sequence
+//! whose **last element must be the unique, smallest symbol** (the
+//! trajectory string's `#` sentinel satisfies this by construction).
+
+/// Build the suffix array of `text` over alphabet `0..sigma`.
+///
+/// Requirements (checked with `debug_assert` in hot code, `assert` at the
+/// entry point):
+/// * `text` is non-empty,
+/// * `text[text.len()-1]` is strictly smaller than every other element and
+///   occurs exactly once.
+///
+/// Returns `sa` with `sa[i]` = start position of the `i`-th smallest suffix.
+pub fn suffix_array(text: &[u32], sigma: usize) -> Vec<u32> {
+    assert!(!text.is_empty(), "suffix_array of empty text");
+    let last = *text.last().expect("non-empty");
+    assert!(
+        text[..text.len() - 1].iter().all(|&c| c > last),
+        "last symbol must be the unique minimum sentinel"
+    );
+    debug_assert!(text.iter().all(|&c| (c as usize) < sigma));
+    let mut sa = vec![0u32; text.len()];
+    sais_main(text, &mut sa, sigma);
+    sa
+}
+
+/// `true` bits mark S-type suffixes.
+fn classify(text: &[u32]) -> Vec<bool> {
+    let n = text.len();
+    let mut stype = vec![false; n];
+    stype[n - 1] = true; // the sentinel suffix is S-type by convention
+    for i in (0..n - 1).rev() {
+        stype[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && stype[i + 1]);
+    }
+    stype
+}
+
+/// Position `i` is LMS iff `i > 0`, `stype[i]` and `!stype[i-1]`.
+#[inline]
+fn is_lms(stype: &[bool], i: usize) -> bool {
+    i > 0 && stype[i] && !stype[i - 1]
+}
+
+/// Bucket boundaries: `heads[c]` = first index of bucket `c`,
+/// `tails[c]` = one past the last.
+fn bucket_bounds(text: &[u32], sigma: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; sigma];
+    for &c in text {
+        counts[c as usize] += 1;
+    }
+    let mut heads = vec![0u32; sigma];
+    let mut tails = vec![0u32; sigma];
+    let mut sum = 0u32;
+    for c in 0..sigma {
+        heads[c] = sum;
+        sum += counts[c];
+        tails[c] = sum;
+    }
+    (heads, tails)
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Induced sort: given LMS positions placed at bucket tails, fill in L-type
+/// then S-type suffixes.
+fn induce(text: &[u32], sa: &mut [u32], stype: &[bool], heads: &[u32], tails: &[u32]) {
+    let n = text.len();
+    // L-type: left-to-right from bucket heads.
+    let mut h = heads.to_vec();
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if !stype[p] {
+                let c = text[p] as usize;
+                sa[h[c] as usize] = p as u32;
+                h[c] += 1;
+            }
+        }
+    }
+    // S-type: right-to-left from bucket tails.
+    let mut t = tails.to_vec();
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j > 0 {
+            let p = (j - 1) as usize;
+            if stype[p] {
+                let c = text[p] as usize;
+                t[c] -= 1;
+                sa[t[c] as usize] = p as u32;
+            }
+        }
+    }
+}
+
+fn sais_main(text: &[u32], sa: &mut [u32], sigma: usize) {
+    let n = text.len();
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    let stype = classify(text);
+    let (heads, tails) = bucket_bounds(text, sigma);
+
+    // Step 1: place LMS suffixes at bucket tails (arbitrary in-bucket order).
+    sa.fill(EMPTY);
+    {
+        let mut t = tails.clone();
+        for i in (1..n).rev() {
+            if is_lms(&stype, i) {
+                let c = text[i] as usize;
+                t[c] -= 1;
+                sa[t[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(text, sa, &stype, &heads, &tails);
+
+    // Step 2: compact sorted LMS positions and name LMS substrings.
+    let mut lms_sorted: Vec<u32> = sa
+        .iter()
+        .copied()
+        .filter(|&j| j != EMPTY && is_lms(&stype, j as usize))
+        .collect();
+    let n_lms = lms_sorted.len();
+    if n_lms == 0 {
+        // No LMS positions (monotone non-increasing text): the induce pass
+        // above already sorted everything.
+        return;
+    }
+    // Name: equal adjacent LMS substrings share a name.
+    let mut names = vec![EMPTY; n];
+    let mut name_count: u32 = 0;
+    {
+        let mut prev: Option<usize> = None;
+        for &jw in lms_sorted.iter() {
+            let j = jw as usize;
+            let same = match prev {
+                Some(p) => lms_substring_eq(text, &stype, p, j),
+                None => false,
+            };
+            if !same {
+                name_count += 1;
+            }
+            names[j] = name_count - 1;
+            prev = Some(j);
+        }
+    }
+
+    if (name_count as usize) < n_lms {
+        // Recurse on the reduced string of LMS names, in text order.
+        let mut reduced = Vec::with_capacity(n_lms);
+        let mut lms_positions = Vec::with_capacity(n_lms);
+        for (i, &nm) in names.iter().enumerate() {
+            if nm != EMPTY {
+                reduced.push(nm);
+                lms_positions.push(i as u32);
+            }
+        }
+        let mut sub_sa = vec![0u32; n_lms];
+        sais_main(&reduced, &mut sub_sa, name_count as usize);
+        for (k, &r) in sub_sa.iter().enumerate() {
+            lms_sorted[k] = lms_positions[r as usize];
+        }
+    }
+    // else: names are already unique, lms_sorted is correctly ordered.
+
+    // Step 3: place sorted LMS suffixes at bucket tails and induce again.
+    sa.fill(EMPTY);
+    {
+        let mut t = tails.clone();
+        for &jw in lms_sorted.iter().rev() {
+            let c = text[jw as usize] as usize;
+            t[c] -= 1;
+            sa[t[c] as usize] = jw;
+        }
+    }
+    induce(text, sa, &stype, &heads, &tails);
+}
+
+/// Compare the LMS substrings starting at `a` and `b` for equality.
+fn lms_substring_eq(text: &[u32], stype: &[bool], a: usize, b: usize) -> bool {
+    let n = text.len();
+    if a == b {
+        return true;
+    }
+    let mut i = 0usize;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        let a_end = pa >= n || (i > 0 && is_lms(stype, pa));
+        let b_end = pb >= n || (i > 0 && is_lms(stype, pb));
+        if a_end && b_end {
+            return true;
+        }
+        if a_end != b_end {
+            return false;
+        }
+        if text[pa] != text[pb] || stype[pa] != stype[pb] {
+            return false;
+        }
+        i += 1;
+    }
+}
+
+/// O(n² log n) reference implementation for testing.
+pub fn naive_suffix_array(text: &[u32]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_sentinel(body: &[u32]) -> Vec<u32> {
+        // Shift symbols up by one and append sentinel 0.
+        let mut v: Vec<u32> = body.iter().map(|&c| c + 1).collect();
+        v.push(0);
+        v
+    }
+
+    fn check(body: &[u32]) {
+        let text = with_sentinel(body);
+        let sigma = text.iter().copied().max().unwrap() as usize + 1;
+        let sa = suffix_array(&text, sigma);
+        let expected = naive_suffix_array(&text);
+        assert_eq!(sa, expected, "text={text:?}");
+    }
+
+    #[test]
+    fn banana() {
+        // "banana" as integers b=2,a=1,n=3
+        check(&[2, 1, 3, 1, 3, 1]);
+    }
+
+    #[test]
+    fn mississippi() {
+        // m=2,i=1,s=4,p=3
+        check(&[2, 1, 4, 4, 1, 4, 4, 1, 3, 3, 1]);
+    }
+
+    #[test]
+    fn single_and_tiny() {
+        check(&[]);
+        check(&[5]);
+        check(&[1, 1]);
+        check(&[2, 1]);
+        check(&[1, 2]);
+    }
+
+    #[test]
+    fn all_equal_runs() {
+        check(&[7; 50]);
+        check(&[1, 1, 2, 2, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn monotone_sequences() {
+        check(&(1..40u32).collect::<Vec<_>>());
+        check(&(1..40u32).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pseudo_random_small_alphabets() {
+        let mut x = 12345u64;
+        for sigma in [2u32, 3, 4, 10, 100] {
+            for len in [10usize, 50, 200, 1000] {
+                let body: Vec<u32> = (0..len)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        ((x >> 33) as u32) % sigma
+                    })
+                    .collect();
+                check(&body);
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_trajectory_like() {
+        // Long repeated paths separated by a separator (like $-separated
+        // trajectory strings) stress the recursion.
+        let mut body = Vec::new();
+        for _ in 0..30 {
+            body.extend_from_slice(&[5, 6, 7, 8, 9, 10]);
+            body.push(1); // separator-like
+        }
+        check(&body);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique minimum sentinel")]
+    fn rejects_missing_sentinel() {
+        suffix_array(&[2, 1, 2], 3);
+    }
+
+    #[test]
+    fn large_random_consistency() {
+        let mut x = 999u64;
+        let body: Vec<u32> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as u32) % 50
+            })
+            .collect();
+        let text = with_sentinel(&body);
+        let sigma = 52;
+        let sa = suffix_array(&text, sigma);
+        // Verify sortedness pairwise (O(n) expected with random data).
+        for w in sa.windows(2) {
+            assert!(
+                text[w[0] as usize..] < text[w[1] as usize..],
+                "suffixes out of order"
+            );
+        }
+        // Verify it is a permutation.
+        let mut seen = vec![false; text.len()];
+        for &i in &sa {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+    }
+}

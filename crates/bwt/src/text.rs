@@ -1,0 +1,198 @@
+//! The trajectory string (paper Definition 2) and the `C[w]` array.
+//!
+//! A set of NCTs `{T_k}` is indexed as one string
+//! `T = T1^r $ T2^r $ … TN^r $ #` — each trajectory **reversed**, separated
+//! by `$`, terminated by `#`. Reversal makes the FM-index's backward search
+//! walk patterns *forward* along the road network.
+//!
+//! Symbol convention (fixed across the whole workspace):
+//! `# = 0`, `$ = 1`, road segments `e ∈ E` are stored as `e + SYMBOL_OFFSET`.
+
+/// The end-of-string sentinel `#` (lexicographically smallest, unique).
+pub const END_SYMBOL: u32 = 0;
+/// The trajectory separator `$`.
+pub const SEPARATOR: u32 = 1;
+/// Road-segment IDs are shifted by this amount when embedded in a
+/// trajectory string.
+pub const SYMBOL_OFFSET: u32 = 2;
+
+/// A trajectory string plus bookkeeping to map between the concatenated
+/// representation and individual trajectories.
+#[derive(Clone, Debug)]
+pub struct TrajectoryString {
+    /// The symbols of `T` (already offset; ends with `#`).
+    text: Vec<u32>,
+    /// Alphabet size σ = max road-segment id + SYMBOL_OFFSET + 1.
+    sigma: usize,
+    /// Start position in `text` of each (reversed) trajectory.
+    starts: Vec<u32>,
+}
+
+impl TrajectoryString {
+    /// Build from raw trajectories (sequences of road-segment IDs
+    /// `0..n_edges`). Empty trajectories are skipped.
+    pub fn build(trajectories: &[Vec<u32>], n_edges: usize) -> Self {
+        let total: usize = trajectories.iter().map(|t| t.len() + 1).sum();
+        let mut text = Vec::with_capacity(total + 1);
+        let mut starts = Vec::with_capacity(trajectories.len());
+        for t in trajectories {
+            if t.is_empty() {
+                continue;
+            }
+            starts.push(text.len() as u32);
+            for &e in t.iter().rev() {
+                debug_assert!((e as usize) < n_edges, "edge id {e} out of range");
+                text.push(e + SYMBOL_OFFSET);
+            }
+            text.push(SEPARATOR);
+        }
+        text.push(END_SYMBOL);
+        Self {
+            text,
+            sigma: n_edges + SYMBOL_OFFSET as usize,
+            starts,
+        }
+    }
+
+    /// The concatenated symbols of `T`.
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// `|T|` including separators and the final `#`.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// `true` iff the string holds no trajectories (just `#`).
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Alphabet size σ (road segments + 2 sentinels).
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Number of trajectories stored.
+    pub fn num_trajectories(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Start offsets (into `text`) of each reversed trajectory.
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// The trajectory (in original, forward order) containing text position
+    /// `pos`, together with its id, or `None` for sentinel positions.
+    pub fn trajectory_at(&self, pos: usize) -> Option<(usize, Vec<u32>)> {
+        if pos + 1 >= self.text.len() {
+            return None; // the final '#'
+        }
+        if self.text[pos] == SEPARATOR {
+            return None;
+        }
+        let id = match self.starts.binary_search(&(pos as u32)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Some((id, self.trajectory(id)))
+    }
+
+    /// The `id`-th trajectory in original (forward) edge order.
+    pub fn trajectory(&self, id: usize) -> Vec<u32> {
+        let start = self.starts[id] as usize;
+        let end = self
+            .starts
+            .get(id + 1)
+            .map_or(self.text.len() - 1, |&s| s as usize)
+            - 1; // strip trailing '$'
+        self.text[start..end]
+            .iter()
+            .rev()
+            .map(|&s| s - SYMBOL_OFFSET)
+            .collect()
+    }
+
+    /// Encode a query path (edge IDs, forward order) into the pattern the
+    /// index searches for. Backward search over reversed trajectories means
+    /// the pattern is the *reversed, offset* path.
+    pub fn encode_pattern(path: &[u32]) -> Vec<u32> {
+        path.iter().rev().map(|&e| e + SYMBOL_OFFSET).collect()
+    }
+
+    /// Decode an encoded pattern back to a forward path of edge IDs.
+    pub fn decode_pattern(pattern: &[u32]) -> Vec<u32> {
+        pattern.iter().rev().map(|&s| s - SYMBOL_OFFSET).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_layout() {
+        // Fig. 1 trajectories: T1=ABEF, T2=ABC, T3=BC, T4=AD with A..F = 0..5.
+        // T = FEBA $ CBA $ CB $ DA $ #  (paper Eq. (1)).
+        let trajs = vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+        let ts = TrajectoryString::build(&trajs, 6);
+        let sym = |c: char| -> u32 {
+            match c {
+                '#' => 0,
+                '$' => 1,
+                c => (c as u32 - 'A' as u32) + SYMBOL_OFFSET,
+            }
+        };
+        let expected: Vec<u32> = "FEBA$CBA$CB$DA$#".chars().map(sym).collect();
+        assert_eq!(ts.text(), &expected[..]);
+        assert_eq!(ts.len(), 16);
+        assert_eq!(ts.sigma(), 8);
+        assert_eq!(ts.num_trajectories(), 4);
+    }
+
+    #[test]
+    fn trajectory_roundtrip() {
+        let trajs = vec![vec![3, 1, 4], vec![1, 5], vec![9, 2, 6, 5]];
+        let ts = TrajectoryString::build(&trajs, 10);
+        for (i, t) in trajs.iter().enumerate() {
+            assert_eq!(&ts.trajectory(i), t);
+        }
+    }
+
+    #[test]
+    fn trajectory_at_positions() {
+        let trajs = vec![vec![3, 1], vec![7]];
+        let ts = TrajectoryString::build(&trajs, 8);
+        // text = [1+2, 3+2, $, 7+2, $, #]
+        assert_eq!(ts.trajectory_at(0).unwrap().0, 0);
+        assert_eq!(ts.trajectory_at(1).unwrap().0, 0);
+        assert!(ts.trajectory_at(2).is_none()); // '$'
+        assert_eq!(ts.trajectory_at(3).unwrap().0, 1);
+        assert!(ts.trajectory_at(5).is_none()); // '#'
+    }
+
+    #[test]
+    fn skips_empty_trajectories() {
+        let trajs = vec![vec![], vec![2, 3], vec![]];
+        let ts = TrajectoryString::build(&trajs, 5);
+        assert_eq!(ts.num_trajectories(), 1);
+        assert_eq!(ts.trajectory(0), vec![2, 3]);
+    }
+
+    #[test]
+    fn pattern_encoding_roundtrip() {
+        let path = vec![4u32, 2, 9];
+        let pat = TrajectoryString::encode_pattern(&path);
+        assert_eq!(pat, vec![11, 4, 6]);
+        assert_eq!(TrajectoryString::decode_pattern(&pat), path);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ts = TrajectoryString::build(&[], 4);
+        assert!(ts.is_empty());
+        assert_eq!(ts.text(), &[END_SYMBOL]);
+    }
+}

@@ -1,0 +1,251 @@
+//! A bzip2-like block compressor: BWT → move-to-front → zero run-length
+//! encoding → Huffman. Table IV's "bzip2" row analogue, built entirely on
+//! this workspace's own substrates (SA-IS BWT, Huffman).
+//!
+//! Works on integer sequences over any alphabet (bzip2 itself is byte
+//! oriented; the pipeline is identical).
+
+use crate::CompressedSize;
+use cinct_bwt::{bwt, inverse_bwt};
+use cinct_succinct::HuffmanCode;
+
+/// Default block size in symbols (bzip2 uses 900 kB byte blocks).
+pub const DEFAULT_BLOCK: usize = 900_000;
+
+/// One compressed block.
+#[derive(Clone, Debug)]
+pub struct BwzBlock {
+    /// RLE0-coded MTF stream (see [`rle0_encode`] for the token scheme).
+    tokens: Vec<u32>,
+    /// Symbols in first-seen order for the MTF alphabet (dense remap).
+    alphabet: Vec<u32>,
+    /// Original (pre-BWT) block length.
+    len: usize,
+}
+
+/// A compressed sequence: blocks + coding metadata.
+#[derive(Clone, Debug)]
+pub struct Bwz {
+    blocks: Vec<BwzBlock>,
+}
+
+/// Move-to-front transform over a dense alphabet `0..sigma`.
+fn mtf_encode(seq: &[u32], sigma: usize) -> Vec<u32> {
+    let mut table: Vec<u32> = (0..sigma as u32).collect();
+    seq.iter()
+        .map(|&s| {
+            let pos = table.iter().position(|&t| t == s).expect("dense symbol") as u32;
+            let v = table.remove(pos as usize);
+            table.insert(0, v);
+            pos
+        })
+        .collect()
+}
+
+fn mtf_decode(codes: &[u32], sigma: usize) -> Vec<u32> {
+    let mut table: Vec<u32> = (0..sigma as u32).collect();
+    codes
+        .iter()
+        .map(|&p| {
+            let v = table.remove(p as usize);
+            table.insert(0, v);
+            v
+        })
+        .collect()
+}
+
+/// RLE0: a run of `k` zeros becomes tokens over {RUNA=0, RUNB=1} via the
+/// bijective base-2 coding bzip2 uses; nonzero values `v` are shifted to
+/// `v + 1`.
+fn rle0_encode(mtf: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(mtf.len());
+    let mut zero_run = 0u64;
+    let flush = |run: &mut u64, out: &mut Vec<u32>| {
+        let mut k = *run;
+        while k > 0 {
+            // bijective base 2: digits in {1, 2} encoded as RUNA/RUNB
+            let d = if k % 2 == 1 { 0u32 } else { 1u32 };
+            out.push(d);
+            k = (k - if d == 0 { 1 } else { 2 }) / 2;
+        }
+        *run = 0;
+    };
+    for &c in mtf {
+        if c == 0 {
+            zero_run += 1;
+        } else {
+            flush(&mut zero_run, &mut out);
+            out.push(c + 1);
+        }
+    }
+    flush(&mut zero_run, &mut out);
+    out
+}
+
+fn rle0_decode(tokens: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i] <= 1 {
+            // Collect a maximal RUNA/RUNB group.
+            let mut k: u64 = 0;
+            let mut place: u64 = 1;
+            while i < tokens.len() && tokens[i] <= 1 {
+                k += place * if tokens[i] == 0 { 1 } else { 2 };
+                place *= 2;
+                i += 1;
+            }
+            out.extend(std::iter::repeat_n(0u32, k as usize));
+        } else {
+            out.push(tokens[i] - 1);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Compress with the given block size.
+pub fn compress_with_block(input: &[u32], block: usize) -> Bwz {
+    let mut blocks = Vec::new();
+    for chunk in input.chunks(block.max(2)) {
+        // Dense remap (first-seen order) so BWT alphabets stay small.
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut alphabet: Vec<u32> = Vec::new();
+        let dense: Vec<u32> = chunk
+            .iter()
+            .map(|&s| {
+                *remap.entry(s).or_insert_with(|| {
+                    alphabet.push(s);
+                    alphabet.len() as u32 - 1
+                })
+            })
+            .collect();
+        // Shift +1 and append sentinel 0 for the BWT.
+        let mut text: Vec<u32> = dense.iter().map(|&d| d + 1).collect();
+        text.push(0);
+        let sigma = alphabet.len() + 1;
+        let (_, tbwt) = bwt(&text, sigma);
+        let mtf = mtf_encode(&tbwt, sigma);
+        let tokens = rle0_encode(&mtf);
+        blocks.push(BwzBlock {
+            tokens,
+            alphabet,
+            len: chunk.len(),
+        });
+    }
+    Bwz { blocks }
+}
+
+/// Compress with [`DEFAULT_BLOCK`].
+pub fn compress(input: &[u32]) -> Bwz {
+    compress_with_block(input, DEFAULT_BLOCK)
+}
+
+/// Invert the whole pipeline.
+pub fn decompress(bwz: &Bwz) -> Vec<u32> {
+    let mut out = Vec::new();
+    for b in &bwz.blocks {
+        let sigma = b.alphabet.len() + 1;
+        let mtf = rle0_decode(&b.tokens);
+        let tbwt = mtf_decode(&mtf, sigma);
+        let text = inverse_bwt(&tbwt, sigma);
+        debug_assert_eq!(text.len(), b.len + 1);
+        out.extend(
+            text[..b.len]
+                .iter()
+                .map(|&d| b.alphabet[(d - 1) as usize]),
+        );
+    }
+    out
+}
+
+impl Bwz {
+    /// Huffman-coded token size plus per-block alphabet tables.
+    pub fn compressed_size(&self) -> CompressedSize {
+        let mut payload = 0u64;
+        let mut model = 0u64;
+        for b in &self.blocks {
+            if b.tokens.is_empty() {
+                continue;
+            }
+            let sigma = b.tokens.iter().copied().max().unwrap() as usize + 1;
+            let mut freqs = vec![0u64; sigma];
+            for &t in &b.tokens {
+                freqs[t as usize] += 1;
+            }
+            let code = HuffmanCode::from_freqs(&freqs);
+            payload += code.encoded_bits(&freqs);
+            model += code.model_bits() + b.alphabet.len() as u64 * 32;
+        }
+        CompressedSize {
+            payload_bits: payload,
+            model_bits: model,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtf_roundtrip() {
+        let seq = vec![3u32, 3, 3, 1, 0, 0, 2, 3, 1, 1];
+        let codes = mtf_encode(&seq, 4);
+        assert_eq!(mtf_decode(&codes, 4), seq);
+        // Repeats become zeros.
+        assert_eq!(codes[1], 0);
+        assert_eq!(codes[2], 0);
+    }
+
+    #[test]
+    fn rle0_roundtrip_various_runs() {
+        for run in [0usize, 1, 2, 3, 4, 7, 8, 100] {
+            let mut seq = vec![5u32];
+            seq.extend(std::iter::repeat_n(0u32, run));
+            seq.push(7);
+            seq.extend(std::iter::repeat_n(0u32, run * 2 + 1));
+            let enc = rle0_encode(&seq);
+            assert_eq!(rle0_decode(&enc), seq, "run={run}");
+        }
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let mut x = 11u64;
+        let input: Vec<u32> = (0..5000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if i % 7 < 4 {
+                    (i % 9) as u32 * 1000 // structured, repetitive
+                } else {
+                    ((x >> 33) as u32) % 50
+                }
+            })
+            .collect();
+        let c = compress_with_block(&input, 1024); // multiple blocks
+        assert_eq!(c.blocks.len(), 5);
+        assert_eq!(decompress(&c), input);
+    }
+
+    #[test]
+    fn compresses_repetitive_trajectories() {
+        let motif: Vec<u32> = (100..130).collect();
+        let mut input = Vec::new();
+        for _ in 0..300 {
+            input.extend_from_slice(&motif);
+        }
+        let c = compress(&input);
+        assert_eq!(decompress(&c), input);
+        let ratio = c.compressed_size().ratio(input.len());
+        assert!(ratio > 10.0, "bwz ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for input in [vec![], vec![9u32], vec![9u32, 9]] {
+            let c = compress(&input);
+            assert_eq!(decompress(&c), input);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimum Entropy Labeling (MEL) + Huffman (Han et al., TODS'17 — the
+//! paper's reference \[1\], compared against in §V-D, Table IV and Table V).
+//!
+//! MEL relabels each road segment `w` with a small integer `ψ(w)`: segments
+//! sharing a **head node** form a group, and within each group labels
+//! `1..k` are assigned in descending *unigram* frequency. Unlike RML, the
+//! label does not depend on the previous segment — the comparison of
+//! Fig. 9. `ψ` is invertible given the previous segment's head node, so
+//! MEL-coded trajectories decode losslessly along the network.
+
+use crate::CompressedSize;
+use cinct_network::RoadNetwork;
+use cinct_succinct::HuffmanCode;
+
+/// The MEL function ψ plus its decoder tables.
+#[derive(Clone, Debug)]
+pub struct Mel {
+    /// ψ(w) per edge (1-based labels).
+    label_of: Vec<u32>,
+    /// Per head node, edges sorted by descending frequency: decode table.
+    members: Vec<Vec<u32>>,
+}
+
+impl Mel {
+    /// Build ψ from unigram frequencies of the trajectories over `net`.
+    pub fn build(net: &RoadNetwork, trajectories: &[Vec<u32>]) -> Self {
+        let mut freqs = vec![0u64; net.num_edges()];
+        for t in trajectories {
+            for &e in t {
+                freqs[e as usize] += 1;
+            }
+        }
+        // Group edges sharing node v — the head node of the *previous*
+        // segment, i.e. the node they emanate from (Fig. 9(b): A and B are
+        // the possible continuations after v). Distinct labels within the
+        // group make decoding along the network unambiguous.
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); net.num_nodes()];
+        for e in 0..net.num_edges() as u32 {
+            groups[net.edge(e).from as usize].push(e);
+        }
+        let mut label_of = vec![0u32; net.num_edges()];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); net.num_nodes()];
+        for (v, group) in groups.into_iter().enumerate() {
+            let mut g = group;
+            g.sort_by_key(|&e| (std::cmp::Reverse(freqs[e as usize]), e));
+            for (k, &e) in g.iter().enumerate() {
+                label_of[e as usize] = k as u32 + 1;
+            }
+            members[v] = g;
+        }
+        Self { label_of, members }
+    }
+
+    /// `ψ(w)` (1-based).
+    #[inline]
+    pub fn label(&self, e: u32) -> u32 {
+        self.label_of[e as usize]
+    }
+
+    /// Invert ψ: the edge leaving node `v` with the given label.
+    #[inline]
+    pub fn decode(&self, v: u32, label: u32) -> u32 {
+        self.members[v as usize][(label - 1) as usize]
+    }
+
+    /// Label an entire trajectory: `ψ(w_1) ψ(w_2) … ψ(w_n)` (paper Eq. (13)).
+    pub fn label_trajectory(&self, t: &[u32]) -> Vec<u32> {
+        t.iter().map(|&e| self.label(e)).collect()
+    }
+
+    /// The label stream over a whole corpus (trajectories are
+    /// concatenated; a 0 separator marks boundaries so decoding can reset).
+    pub fn label_stream(&self, trajectories: &[Vec<u32>]) -> Vec<u32> {
+        let total: usize = trajectories.iter().map(|t| t.len() + 1).sum();
+        let mut out = Vec::with_capacity(total);
+        for t in trajectories {
+            out.extend(self.label_trajectory(t));
+            out.push(0); // separator
+        }
+        out
+    }
+
+    /// Decode a label stream back to trajectories. Each trajectory's first
+    /// edge cannot be recovered from ψ alone (its group is unknown), so —
+    /// as in \[1\] — first edges are carried verbatim via `first_edges`.
+    pub fn decode_stream(
+        &self,
+        net: &RoadNetwork,
+        stream: &[u32],
+        first_edges: &[u32],
+    ) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
+        let mut traj_idx = 0usize;
+        for &l in stream {
+            if l == 0 {
+                out.push(std::mem::take(&mut cur));
+                traj_idx += 1;
+                continue;
+            }
+            if cur.is_empty() {
+                cur.push(first_edges[traj_idx]);
+                continue;
+            }
+            let v = net.edge(*cur.last().expect("non-empty")).to;
+            // The next edge leaves node `v`; the label picks it directly
+            // from v's group.
+            cur.push(self.decode(v, l));
+        }
+        out
+    }
+
+    /// Huffman-code the label stream and account the size (paper Table IV's
+    /// MEL row used Huffman coding after labeling). First edges are charged
+    /// at `ceil(lg σ)` bits each.
+    pub fn compressed_size(&self, net: &RoadNetwork, trajectories: &[Vec<u32>]) -> CompressedSize {
+        let stream = self.label_stream(trajectories);
+        let sigma = stream.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut freqs = vec![0u64; sigma];
+        for &l in &stream {
+            freqs[l as usize] += 1;
+        }
+        let code = HuffmanCode::from_freqs(&freqs);
+        let lg_sigma = (net.num_edges().max(2) as f64).log2().ceil() as u64;
+        CompressedSize {
+            payload_bits: code.encoded_bits(&freqs) + trajectories.len() as u64 * lg_sigma,
+            model_bits: code.model_bits(),
+        }
+    }
+
+    /// `H0` of the MEL label stream (Table V's MEL column). Separators are
+    /// excluded to mirror the RML entropy computation.
+    pub fn label_entropy(&self, trajectories: &[Vec<u32>]) -> f64 {
+        let labels: Vec<u32> = trajectories
+            .iter()
+            .flat_map(|t| t.iter().map(|&e| self.label(e)))
+            .collect();
+        cinct_bwt::entropy_h0(&labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinct_network::generators::grid_city;
+    use cinct_network::WalkConfig;
+
+    fn setup() -> (RoadNetwork, Vec<Vec<u32>>) {
+        let net = grid_city(8, 8, 3);
+        let trajs = WalkConfig::default().generate(&net, 120, 5);
+        (net, trajs)
+    }
+
+    #[test]
+    fn labels_are_small_and_distinct_per_group() {
+        let (net, trajs) = setup();
+        let mel = Mel::build(&net, &trajs);
+        for v in 0..net.num_nodes() as u32 {
+            let leaving = net.out_edges(v);
+            let mut seen = std::collections::HashSet::new();
+            for &e in leaving {
+                let l = mel.label(e);
+                assert!(l >= 1 && l as usize <= leaving.len());
+                assert!(seen.insert(l), "duplicate label at node {v}");
+                assert_eq!(mel.decode(v, l), e);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let (net, trajs) = setup();
+        let mel = Mel::build(&net, &trajs);
+        let stream = mel.label_stream(&trajs);
+        let first_edges: Vec<u32> = trajs.iter().map(|t| t[0]).collect();
+        let back = mel.decode_stream(&net, &stream, &first_edges);
+        assert_eq!(back, trajs);
+    }
+
+    #[test]
+    fn mel_entropy_above_rml_entropy() {
+        // Theorem 6: RML ≤ MEL in 0th-order entropy of the label stream.
+        let (net, trajs) = setup();
+        let mel = Mel::build(&net, &trajs);
+        let h_mel = mel.label_entropy(&trajs);
+
+        let ts = cinct_bwt::TrajectoryString::build(&trajs, net.num_edges());
+        let (_, tbwt) = cinct_bwt::bwt(ts.text(), ts.sigma());
+        let c = cinct_bwt::CArray::new(ts.text(), ts.sigma());
+        let rml = cinct::Rml::from_text(
+            ts.text(),
+            ts.sigma(),
+            cinct::LabelingStrategy::BigramSorted,
+        );
+        let h_rml = cinct_bwt::entropy_h0(&rml.label_bwt(&tbwt, &c));
+        assert!(
+            h_rml <= h_mel + 0.05,
+            "RML {h_rml:.3} should be <= MEL {h_mel:.3}"
+        );
+    }
+
+    #[test]
+    fn compression_beats_raw() {
+        let (net, trajs) = setup();
+        let mel = Mel::build(&net, &trajs);
+        let size = mel.compressed_size(&net, &trajs);
+        let n: usize = trajs.iter().map(|t| t.len() + 1).sum();
+        assert!(size.ratio(n) > 4.0, "MEL ratio {}", size.ratio(n));
+    }
+
+    #[test]
+    fn empty_trajectory_set() {
+        let net = grid_city(3, 3, 1);
+        let mel = Mel::build(&net, &[]);
+        assert_eq!(mel.label_stream(&[]), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,186 @@
+//! A PRESS-like shortest-path spatial coder (Song et al., PVLDB'14 — the
+//! paper's reference \[24\]).
+//!
+//! PRESS's spatial compression removes sub-paths that coincide with network
+//! shortest paths, keeping only the endpoints: a decoder with the same map
+//! re-derives the removed edges. We implement the same principle as a
+//! greedy window coder:
+//!
+//! * scan the trajectory, growing a window while the path inside it is
+//!   *the* shortest path between its endpoints (verified against a lazily
+//!   expanded Dijkstra from the window start);
+//! * when the window breaks, emit the endpoint reached so far and restart.
+//!
+//! The output is the sequence of window-boundary edges, Huffman coded.
+//! Decoding replays shortest paths between consecutive boundary edges.
+//! Like PRESS, compression is lossless only when shortest paths are unique
+//! — our generator networks jitter weights to guarantee that.
+
+use crate::CompressedSize;
+use cinct_network::{EdgeId, RoadNetwork};
+use cinct_succinct::HuffmanCode;
+
+/// The SP coding of one trajectory: the first edge plus the boundary edges
+/// of each maximal shortest-path window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpCode {
+    /// Window boundary edges; always starts with the trajectory's first edge.
+    pub boundary_edges: Vec<EdgeId>,
+}
+
+/// Encode one trajectory.
+#[allow(clippy::needless_range_loop)] // `k` is the window-end index, clearer explicit
+pub fn encode(net: &RoadNetwork, traj: &[EdgeId]) -> SpCode {
+    let mut sp = cinct_network::graph::LazyDijkstra::new(net, net.edge(traj[0]).from);
+    encode_with(net, traj, &mut sp)
+}
+
+/// Encode with a caller-provided (reusable) lazy-Dijkstra scratch space.
+pub fn encode_with(
+    net: &RoadNetwork,
+    traj: &[EdgeId],
+    sp: &mut cinct_network::graph::LazyDijkstra,
+) -> SpCode {
+    assert!(!traj.is_empty());
+    let mut boundary_edges = vec![traj[0]];
+    let mut w_start = 0usize; // window start (index into traj)
+    while w_start + 1 < traj.len() {
+        // Grow the window from traj[w_start] as far as the path stays
+        // shortest. Distances are measured from the head of the start edge;
+        // the lazy Dijkstra expands its ball only as far as the window's
+        // accumulated weight, so short windows stay cheap.
+        let origin = net.edge(traj[w_start]).to;
+        sp.reset(origin);
+        let mut acc = 0.0f64;
+        let mut w_end = w_start; // last edge index included in the window
+        for k in (w_start + 1)..traj.len() {
+            let e = net.edge(traj[k]);
+            acc += e.weight;
+            sp.settle_to(net, acc + 1e-9);
+            // The window [w_start..=k] is a shortest path iff the
+            // accumulated weight equals the Dijkstra distance to e.to AND
+            // the SP tree reaches e.to via traj[k] (unique-SP networks make
+            // the weight check sufficient; the parent check guards ties).
+            let is_sp = (acc - sp.dist(e.to)).abs() < 1e-9 && sp.parent_edge(e.to) == traj[k];
+            if is_sp {
+                w_end = k;
+            } else {
+                break;
+            }
+        }
+        if w_end == w_start {
+            // No progress: the very next edge is not on a shortest path
+            // (e.g. a detour). Emit it verbatim and move one step.
+            boundary_edges.push(traj[w_start + 1]);
+            w_start += 1;
+        } else {
+            boundary_edges.push(traj[w_end]);
+            w_start = w_end;
+        }
+    }
+    SpCode { boundary_edges }
+}
+
+/// Decode back to the full edge sequence.
+pub fn decode(net: &RoadNetwork, code: &SpCode) -> Vec<EdgeId> {
+    let mut out = vec![code.boundary_edges[0]];
+    for win in code.boundary_edges.windows(2) {
+        let (from_e, to_e) = (win[0], win[1]);
+        if net.connected(from_e, to_e) || from_e == to_e {
+            // Adjacent boundaries (verbatim step) — but they may also be
+            // endpoints of a length-1 SP window; both cases append to_e
+            // after any SP fill of length 0.
+        }
+        let from = net.edge(from_e).to;
+        let to = net.edge(to_e).from;
+        let fill = net
+            .shortest_path_edges(from, to)
+            .expect("decoder must reach the next boundary");
+        out.extend(fill);
+        out.push(to_e);
+    }
+    out
+}
+
+/// Encode a corpus and account bits: boundary edges at Huffman-coded
+/// symbol cost plus per-trajectory length headers.
+pub fn compressed_size(net: &RoadNetwork, trajectories: &[Vec<EdgeId>]) -> CompressedSize {
+    let mut scratch = cinct_network::graph::LazyDijkstra::new(net, 0);
+    let codes: Vec<SpCode> = trajectories
+        .iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| encode_with(net, t, &mut scratch))
+        .collect();
+    let stream: Vec<u32> = codes
+        .iter()
+        .flat_map(|c| c.boundary_edges.iter().copied())
+        .collect();
+    if stream.is_empty() {
+        return CompressedSize::default();
+    }
+    let sigma = net.num_edges();
+    let mut freqs = vec![0u64; sigma];
+    for &e in &stream {
+        freqs[e as usize] += 1;
+    }
+    let code = HuffmanCode::from_freqs(&freqs);
+    let header_bits = codes.len() as u64 * 16; // boundary-count headers
+    CompressedSize {
+        payload_bits: code.encoded_bits(&freqs) + header_bits,
+        model_bits: code.model_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinct_network::generators::grid_city;
+    use cinct_network::{TripGenerator, WalkConfig};
+
+    #[test]
+    fn shortest_path_trips_collapse_to_endpoints() {
+        let net = grid_city(10, 10, 3);
+        let trips = TripGenerator::default().generate(&net, 30, 7);
+        for t in &trips {
+            let code = encode(&net, t);
+            // A pure shortest-path trip should shrink to very few
+            // boundaries (first edge + a couple of windows).
+            assert!(
+                code.boundary_edges.len() <= 1 + t.len().div_ceil(4),
+                "trip len {} → {} boundaries",
+                t.len(),
+                code.boundary_edges.len()
+            );
+            assert_eq!(decode(&net, &code), *t, "roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn random_walks_roundtrip() {
+        // Walks are not shortest paths; windows will be short but decoding
+        // must still be exact.
+        let net = grid_city(8, 8, 1);
+        let trajs = WalkConfig::default().generate(&net, 60, 11);
+        for t in &trajs {
+            let code = encode(&net, t);
+            assert_eq!(decode(&net, &code), *t);
+        }
+    }
+
+    #[test]
+    fn single_edge_trajectory() {
+        let net = grid_city(4, 4, 5);
+        let code = encode(&net, &[3]);
+        assert_eq!(code.boundary_edges, vec![3]);
+        assert_eq!(decode(&net, &code), vec![3]);
+    }
+
+    #[test]
+    fn compression_ratio_on_trips() {
+        let net = grid_city(12, 12, 9);
+        let trips = TripGenerator { min_edges: 10, max_attempts: 8 }.generate(&net, 100, 13);
+        let n: usize = trips.iter().map(Vec::len).sum();
+        let ratio = compressed_size(&net, &trips).ratio(n);
+        assert!(ratio > 3.0, "SP ratio {ratio}");
+    }
+}

@@ -1,0 +1,163 @@
+//! `cinct` — command-line interface to the CiNCT trajectory index.
+//!
+//! Trajectory files are plain text: one trajectory per line, comma- or
+//! whitespace-separated edge IDs. Typical session:
+//!
+//! ```text
+//! cinct build  trips.txt  trips.cinct          # build + save an index
+//! cinct stats  trips.cinct                     # size breakdown
+//! cinct count  trips.cinct  12,13,14           # how many travel 12→13→14?
+//! cinct locate trips.cinct  12,13,14           # who, and where (needs --locate at build)
+//! cinct get    trips.cinct  7                  # decompress trajectory #7
+//! ```
+
+use cinct::text_io::{format_trajectory, parse_path, parse_trajectories};
+use cinct::{CinctBuilder, CinctIndex};
+use cinct_fmindex::PatternIndex;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  cinct build <trajectories.txt> <index.cinct> [--block-size 15|31|63] [--locate RATE]
+  cinct stats <index.cinct>
+  cinct count <index.cinct> <path>          path = comma-separated edge IDs
+  cinct locate <index.cinct> <path>
+  cinct get <index.cinct> <trajectory-id>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match (cmd.as_str(), args.len()) {
+        ("build", n) if n >= 3 => cmd_build(&args[1], &args[2], &args[3..]),
+        ("stats", 2) => cmd_stats(&args[1]),
+        ("count", 3) => cmd_count(&args[1], &args[2]),
+        ("locate", 3) => cmd_locate(&args[1], &args[2]),
+        ("get", 3) => cmd_get(&args[1], &args[2]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse a trajectory file via [`cinct::text_io`].
+fn read_trajectories(path: &str) -> Result<(Vec<Vec<u32>>, usize), String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    parse_trajectories(std::io::BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_index(path: &str) -> Result<CinctIndex, String> {
+    let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    CinctIndex::read_from(&mut f).map_err(|e| format!("load {path}: {e}"))
+}
+
+fn cmd_build(input: &str, output: &str, flags: &[String]) -> Result<(), String> {
+    let mut builder = CinctBuilder::new();
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--block-size" => {
+                let b: usize = flags
+                    .get(i + 1)
+                    .ok_or("--block-size needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --block-size")?;
+                builder = builder.block_size(b);
+                i += 2;
+            }
+            "--locate" => {
+                let r: usize = flags
+                    .get(i + 1)
+                    .ok_or("--locate needs a sampling rate")?
+                    .parse()
+                    .map_err(|_| "bad --locate rate")?;
+                builder = builder.locate_sampling(r);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let (trajs, n_edges) = read_trajectories(input)?;
+    let t0 = std::time::Instant::now();
+    let (index, timings) = builder.build_timed(&trajs, n_edges);
+    eprintln!(
+        "built in {:.2}s (BWT {:.2}s, ET-graph {:.2}s, WT {:.2}s): {} trajectories, {} edges, {:.2} bits/symbol",
+        t0.elapsed().as_secs_f64(),
+        timings.bwt.as_secs_f64(),
+        timings.et_graph_build.as_secs_f64(),
+        timings.wt_build.as_secs_f64(),
+        index.num_trajectories(),
+        n_edges,
+        index.bits_per_symbol()
+    );
+    let mut f = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    index
+        .write_to(&mut f)
+        .map_err(|e| format!("write {output}: {e}"))?;
+    eprintln!("saved to {output}");
+    Ok(())
+}
+
+fn cmd_stats(path: &str) -> Result<(), String> {
+    let idx = load_index(path)?;
+    println!("trajectories:     {}", idx.num_trajectories());
+    println!("indexed symbols:  {}", idx.len());
+    println!("network edges:    {}", idx.network_edges());
+    println!("sigma:            {}", idx.sigma());
+    println!("ET-graph edges:   {}", idx.rml().graph().num_edges());
+    println!("max out-degree:   {}", idx.rml().graph().max_out_degree());
+    println!("core size:        {} bytes ({:.2} bits/symbol)", idx.core_size_in_bytes(), idx.bits_per_symbol());
+    println!("  labeled BWT:    {} bytes", idx.size_without_et_graph());
+    println!("directory extras: {} bytes", idx.directory_size_in_bytes());
+    match idx.locate_sampling_rate() {
+        Some(r) => println!("locate support:   yes (SA sampling 1/{r})"),
+        None => println!("locate support:   no (rebuild with --locate)"),
+    }
+    Ok(())
+}
+
+fn cmd_count(path: &str, spec: &str) -> Result<(), String> {
+    let idx = load_index(path)?;
+    let p = parse_path(spec)?;
+    match idx.path_range(&p) {
+        Some(r) => println!("{} (suffix range {}..{})", r.len(), r.start, r.end),
+        None => println!("0"),
+    }
+    Ok(())
+}
+
+fn cmd_locate(path: &str, spec: &str) -> Result<(), String> {
+    let idx = load_index(path)?;
+    let p = parse_path(spec)?;
+    let occ = idx
+        .locate_path(&p)
+        .ok_or("index was built without --locate")?;
+    println!("{} occurrence(s)", occ.len());
+    for (traj, offset) in occ {
+        println!("trajectory {traj} @ edge offset {offset}");
+    }
+    Ok(())
+}
+
+fn cmd_get(path: &str, id_spec: &str) -> Result<(), String> {
+    let idx = load_index(path)?;
+    let id: usize = id_spec.parse().map_err(|_| "bad trajectory id")?;
+    if id >= idx.num_trajectories() {
+        return Err(format!(
+            "trajectory {id} out of range (have {})",
+            idx.num_trajectories()
+        ));
+    }
+    println!("{}", format_trajectory(&idx.trajectory(id)));
+    Ok(())
+}

@@ -1,0 +1,267 @@
+//! CiNCT index construction (paper §III-A steps 1–5) with per-phase
+//! timings for the Fig. 16 construction-time breakdown.
+
+use crate::index::{CinctIndex, SaSamples};
+use crate::rml::{LabelingStrategy, Rml};
+use cinct_bwt::{bwt_from_sa, suffix_array, CArray, TrajectoryString};
+use cinct_succinct::{BitBuf, HuffmanWaveletTree, IntVec, RankBitVec, RrrBitVec};
+use std::time::{Duration, Instant};
+
+/// Wall-clock spent in each construction phase (paper Fig. 16 splits the
+/// bars into `BWT`, `WT-build`, and `ET-graph-build`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConstructionTimings {
+    /// Suffix array + BWT.
+    pub bwt: Duration,
+    /// ET-graph construction, labeling, and `Z`-term computation — all
+    /// operations the other FM-index variants do not need.
+    pub et_graph_build: Duration,
+    /// Wavelet-tree construction over the labeled BWT.
+    pub wt_build: Duration,
+}
+
+impl ConstructionTimings {
+    /// Total construction time.
+    pub fn total(&self) -> Duration {
+        self.bwt + self.et_graph_build + self.wt_build
+    }
+}
+
+/// Configurable CiNCT construction.
+#[derive(Clone, Copy, Debug)]
+pub struct CinctBuilder {
+    labeling: LabelingStrategy,
+    block_size: usize,
+    locate_sampling: Option<usize>,
+}
+
+impl Default for CinctBuilder {
+    fn default() -> Self {
+        Self {
+            labeling: LabelingStrategy::BigramSorted,
+            block_size: 63,
+            locate_sampling: None,
+        }
+    }
+}
+
+impl CinctBuilder {
+    /// Default configuration: bigram-sorted RML, `b = 63`, no locate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Labeling strategy (Fig. 14 ablation).
+    pub fn labeling(mut self, strategy: LabelingStrategy) -> Self {
+        self.labeling = strategy;
+        self
+    }
+
+    /// RRR block size `b` — the paper's only parameter (§III-C2),
+    /// evaluated at `b ∈ {15, 31, 63}`.
+    pub fn block_size(mut self, b: usize) -> Self {
+        self.block_size = b;
+        self
+    }
+
+    /// Enable locate support with the given SA sampling rate (smaller =
+    /// faster locate, more space).
+    pub fn locate_sampling(mut self, rate: usize) -> Self {
+        assert!(rate >= 1);
+        self.locate_sampling = Some(rate);
+        self
+    }
+
+    /// Build from raw trajectories.
+    pub fn build(self, trajectories: &[Vec<u32>], n_edges: usize) -> CinctIndex {
+        self.build_timed(trajectories, n_edges).0
+    }
+
+    /// Build and report per-phase timings.
+    pub fn build_timed(
+        self,
+        trajectories: &[Vec<u32>],
+        n_edges: usize,
+    ) -> (CinctIndex, ConstructionTimings) {
+        let ts = TrajectoryString::build(trajectories, n_edges);
+        self.build_from_trajectory_string(&ts, n_edges)
+    }
+
+    /// Build from a prepared trajectory string (lets callers share the
+    /// string across several index builds, as the experiment harness does).
+    pub fn build_from_trajectory_string(
+        self,
+        ts: &TrajectoryString,
+        n_edges: usize,
+    ) -> (CinctIndex, ConstructionTimings) {
+        let mut timings = ConstructionTimings::default();
+
+        // Steps 1–2: trajectory string → BWT.
+        let t0 = Instant::now();
+        let text = ts.text();
+        let sigma = ts.sigma();
+        let sa = suffix_array(text, sigma);
+        let tbwt = bwt_from_sa(text, &sa);
+        let c = CArray::new(text, sigma);
+        timings.bwt = t0.elapsed();
+
+        // Steps 3–4: ET-graph, RML, labeled BWT, Z terms.
+        let t0 = Instant::now();
+        let mut rml = Rml::from_text(text, sigma, self.labeling);
+        let labeled = rml.label_bwt(&tbwt, &c);
+        compute_z_terms(&mut rml, &tbwt, &labeled, &c);
+        timings.et_graph_build = t0.elapsed();
+
+        // Step 5: compressed wavelet tree.
+        let t0 = Instant::now();
+        let wt = HuffmanWaveletTree::<RrrBitVec>::with_params(&labeled, self.block_size);
+        timings.wt_build = t0.elapsed();
+
+        // Trajectory directory: the BWT row of each trajectory's closing `$`
+        // is ISA[start of next unit], derived from the SA we already have.
+        let n = text.len();
+        let mut isa = vec![0u32; n];
+        for (row, &pos) in sa.iter().enumerate() {
+            isa[pos as usize] = row as u32;
+        }
+        let traj_rows: Vec<u32> = ts
+            .starts()
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| {
+                let end = ts
+                    .starts()
+                    .get(k + 1)
+                    .map_or(n - 2, |&next| next as usize - 1);
+                debug_assert_eq!(text[end], cinct_bwt::SEPARATOR);
+                debug_assert!(end > s as usize);
+                isa[end]
+            })
+            .collect();
+
+        // Optional SA samples for locate.
+        let samples = self.locate_sampling.map(|rate| {
+            let mut marked = BitBuf::zeros(n);
+            let mut rows: Vec<(u32, u64)> = Vec::with_capacity(n / rate + 1);
+            for (row, &pos) in sa.iter().enumerate() {
+                if (pos as usize).is_multiple_of(rate) {
+                    marked.set(row, true);
+                    rows.push((row as u32, pos as u64));
+                }
+            }
+            let mut values = IntVec::with_capacity(IntVec::width_for(n as u64), rows.len());
+            for &(_, pos) in &rows {
+                values.push(pos);
+            }
+            SaSamples {
+                marked: RankBitVec::new(marked),
+                values,
+                rate,
+            }
+        });
+
+        let index = CinctIndex {
+            c,
+            labeled: wt,
+            rml,
+            traj_starts: ts.starts().to_vec(),
+            traj_rows,
+            samples,
+            n_network_edges: n_edges,
+        };
+        (index, timings)
+    }
+}
+
+/// Compute every correction term `Z_{w′w}` (paper Eq. (7)) in one linear
+/// scan over the BWT: at each context-block boundary `j = C[w′]`, for each
+/// out-edge `(w′, w)` with label `η`,
+/// `Z = rank_η(φ(T_bwt), C[w′]) − rank_w(T_bwt, C[w′])`.
+fn compute_z_terms(rml: &mut Rml, tbwt: &[u32], labeled: &[u32], c: &CArray) {
+    let sigma = c.sigma();
+    let max_label = labeled.iter().copied().max().unwrap_or(1) as usize;
+    let mut label_counts = vec![0u64; max_label + 1];
+    let mut sym_counts = vec![0u64; sigma];
+    let mut zs: Vec<i64> = Vec::with_capacity(rml.graph().num_edges());
+    let mut j = 0usize;
+    for w_prime in 0..sigma as u32 {
+        let boundary = c.get(w_prime);
+        while j < boundary {
+            label_counts[labeled[j] as usize] += 1;
+            sym_counts[tbwt[j] as usize] += 1;
+            j += 1;
+        }
+        let graph = rml.graph();
+        let degree = graph.out_degree(w_prime);
+        for k in 0..degree {
+            let label = k as u32 + 1;
+            let w = graph.decode(label, w_prime);
+            zs.push(label_counts[label as usize] as i64 - sym_counts[w as usize] as i64);
+        }
+    }
+    rml.graph_mut().attach_z_terms(&zs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinct_bwt::bwt::bwt;
+
+    fn paper_trajs() -> Vec<Vec<u32>> {
+        vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
+    }
+
+    #[test]
+    fn z_terms_satisfy_eq7() {
+        let trajs = paper_trajs();
+        let ts = TrajectoryString::build(&trajs, 6);
+        let (_, tbwt) = bwt(ts.text(), ts.sigma());
+        let c = CArray::new(ts.text(), ts.sigma());
+        let idx = CinctBuilder::new().build(&trajs, 6);
+        let labeled: Vec<u32> = (0..tbwt.len())
+            .map(|j| {
+                let w_prime = c.symbol_at(j);
+                idx.rml().label(tbwt[j], w_prime).expect("transition exists")
+            })
+            .collect();
+        for w_prime in 0..idx.sigma() as u32 {
+            for (k, &w) in idx.rml().graph().out(w_prime).iter().enumerate() {
+                let label = k as u32 + 1;
+                let boundary = c.get(w_prime);
+                let rank_label = labeled[..boundary]
+                    .iter()
+                    .filter(|&&l| l == label)
+                    .count() as i64;
+                let rank_sym = tbwt[..boundary].iter().filter(|&&s| s == w).count() as i64;
+                assert_eq!(
+                    idx.rml().graph().z_term(label, w_prime),
+                    rank_label - rank_sym,
+                    "Z[{w_prime}→{w}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timings_cover_all_phases() {
+        let (_, t) = CinctBuilder::new().build_timed(&paper_trajs(), 6);
+        assert!(t.total() >= t.bwt);
+        assert!(t.total() >= t.wt_build);
+        assert!(t.total() >= t.et_graph_build);
+    }
+
+    #[test]
+    fn builder_is_reusable_and_deterministic() {
+        let b = CinctBuilder::new().block_size(31);
+        let i1 = b.build(&paper_trajs(), 6);
+        let i2 = b.build(&paper_trajs(), 6);
+        assert_eq!(i1.core_size_in_bytes(), i2.core_size_in_bytes());
+        assert_eq!(i1.path_range(&[0, 1]), i2.path_range(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate >= 1")]
+    fn rejects_zero_sampling() {
+        let _ = CinctBuilder::new().locate_sampling(0);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! CiNCT — Compressed-index for Network-Constrained Trajectories.
+//!
+//! Rust reproduction of Koide, Tadokoro, Xiao & Ishikawa,
+//! *"CiNCT: Compression and retrieval for massive vehicular trajectories
+//! via relative movement labeling"*, ICDE 2018.
+//!
+//! CiNCT stores a fleet's worth of road-network trajectories in a
+//! compressed self-index that supports:
+//!
+//! * **suffix range queries** — "which trajectories traveled exactly along
+//!   path `P`?" — in time independent of the road-network size σ
+//!   (Theorem 5), and
+//! * **sub-path extraction** from any position, without decompressing the
+//!   rest of the data.
+//!
+//! The two ideas:
+//!
+//! 1. **Relative movement labeling (RML, §III-B)** — because a vehicle on
+//!    segment `w′` can only move to one of the few segments connected to
+//!    `w′`, the BWT of the trajectory string can be re-labeled
+//!    *per context block* with small integers `φ(w|w′) ∈ {1..δ}`, ordered
+//!    by bigram frequency (which is entropy-optimal, Theorem 3). The
+//!    labeled BWT has tiny `H0`, so its Huffman-shaped wavelet tree is both
+//!    small and shallow.
+//! 2. **PseudoRank (§IV-A)** — `rank_w(T_bwt, j)` is recovered from the
+//!    labeled BWT alone as `rank_η(φ(T_bwt), j) − Z_{w′w}` whenever `j`
+//!    lies in the context block of `w′` (Theorem 2), with one precomputed
+//!    correction term `Z` per ET-graph edge.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cinct::CinctIndex;
+//! use cinct_fmindex::PatternIndex;
+//!
+//! // Paper Fig. 1: four trajectories over road segments A..F = 0..5.
+//! let trajectories = vec![
+//!     vec![0, 1, 4, 5], // A B E F
+//!     vec![0, 1, 2],    // A B C
+//!     vec![1, 2],       // B C
+//!     vec![0, 3],       // A D
+//! ];
+//! let index = CinctIndex::build(&trajectories, 6);
+//! // How many vehicles traveled A then B?
+//! assert_eq!(index.count_path(&[0, 1]), 2);
+//! // Recover a stored trajectory.
+//! assert_eq!(index.trajectory(0), vec![0, 1, 4, 5]);
+//! ```
+
+pub mod builder;
+pub mod et_graph;
+pub mod index;
+pub mod rml;
+pub mod stats;
+pub mod temporal;
+pub mod text_io;
+
+pub use builder::{CinctBuilder, ConstructionTimings};
+pub use et_graph::EtGraph;
+pub use index::CinctIndex;
+pub use rml::{LabelingStrategy, Rml};
+pub use stats::DatasetStats;
+pub use temporal::{StrictPathQuery, TemporalCinct, TimestampedTrajectory};

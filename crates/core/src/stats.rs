@@ -1,0 +1,118 @@
+//! Dataset statistics — the columns of the paper's Table III.
+
+use crate::rml::{LabelingStrategy, Rml};
+use cinct_bwt::{bwt, entropy_h0, entropy_hk, CArray, TrajectoryString};
+
+/// One row of Table III: `|T|`, `lg σ`, `H0(T)`, `H0(φ(T_bwt))`, `H1(T)`,
+/// and the ET-graph average out-degree d̄.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub name: String,
+    /// `|T|`: trajectory-string length, including separators.
+    pub text_len: usize,
+    /// `lg σ`.
+    pub log2_sigma: f64,
+    /// `H0(T)` (= `H0(T_bwt)`, since the BWT is a permutation).
+    pub h0: f64,
+    /// `H0(φ(T_bwt))` under bigram-sorted RML.
+    pub h0_labeled: f64,
+    /// `H1(T)`.
+    pub h1: f64,
+    /// ET-graph average out-degree d̄.
+    pub avg_out_degree: f64,
+    /// ET-graph maximum out-degree δ.
+    pub max_out_degree: usize,
+    /// Number of trajectories.
+    pub num_trajectories: usize,
+}
+
+impl DatasetStats {
+    /// Compute every column from raw trajectories.
+    pub fn compute(name: &str, trajectories: &[Vec<u32>], n_edges: usize) -> Self {
+        let ts = TrajectoryString::build(trajectories, n_edges);
+        Self::compute_from_string(name, &ts)
+    }
+
+    /// Compute from a prepared trajectory string.
+    pub fn compute_from_string(name: &str, ts: &TrajectoryString) -> Self {
+        let text = ts.text();
+        let sigma = ts.sigma();
+        let (_, tbwt) = bwt::bwt(text, sigma);
+        let c = CArray::new(text, sigma);
+        let rml = Rml::from_text(text, sigma, LabelingStrategy::BigramSorted);
+        let labeled = rml.label_bwt(&tbwt, &c);
+        Self {
+            name: name.to_string(),
+            text_len: text.len(),
+            log2_sigma: (sigma as f64).log2(),
+            h0: entropy_h0(text),
+            h0_labeled: entropy_h0(&labeled),
+            h1: entropy_hk(text, 1),
+            avg_out_degree: rml.graph().avg_out_degree(),
+            max_out_degree: rml.graph().max_out_degree(),
+            num_trajectories: ts.num_trajectories(),
+        }
+    }
+
+    /// Render as a Table III-style row.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<14} {:>10} {:>6.1} {:>7.2} {:>7.2} {:>7.2} {:>6.1}",
+            self.name,
+            self.text_len,
+            self.log2_sigma,
+            self.h0,
+            self.h0_labeled,
+            self.h1,
+            self.avg_out_degree
+        )
+    }
+
+    /// The Table III header matching [`DatasetStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<14} {:>10} {:>6} {:>7} {:>7} {:>7} {:>6}",
+            "Dataset", "|T|", "lg(s)", "H0(T)", "H0(phi)", "H1(T)", "d_bar"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_stats() {
+        let trajs = vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+        let s = DatasetStats::compute("example", &trajs, 6);
+        assert_eq!(s.text_len, 16);
+        assert_eq!(s.num_trajectories, 4);
+        assert!((s.log2_sigma - 3.0).abs() < 1e-12); // σ = 8
+        assert!((s.h0_labeled - 0.7).abs() < 0.05);
+        // RML entropy is far below the raw entropy (paper Eq. (10)).
+        assert!(s.h0_labeled < s.h0 / 2.0);
+        assert!(s.max_out_degree >= 2);
+    }
+
+    #[test]
+    fn h1_not_above_h0() {
+        let trajs: Vec<Vec<u32>> = (0..20)
+            .map(|k| (0..30).map(|i| ((i * 7 + k) % 40) as u32).collect())
+            .collect();
+        let s = DatasetStats::compute("synthetic", &trajs, 40);
+        assert!(s.h1 <= s.h0 + 1e-9);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let trajs = vec![vec![0, 1], vec![1, 0]];
+        let s = DatasetStats::compute("fmt", &trajs, 2);
+        let row = s.table_row();
+        assert!(row.starts_with("fmt"));
+        assert_eq!(
+            DatasetStats::table_header().split_whitespace().count(),
+            row.split_whitespace().count()
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text trajectory I/O used by the `cinct` CLI.
+//!
+//! Format: one trajectory per line; edge IDs separated by commas and/or
+//! whitespace; `#` starts a comment; blank lines ignored.
+
+use std::io::BufRead;
+
+/// Parse trajectories from a reader. Returns the trajectories and the
+/// implied edge-ID alphabet size (`max id + 1`).
+pub fn parse_trajectories(reader: impl BufRead) -> Result<(Vec<Vec<u32>>, usize), String> {
+    let mut trajs = Vec::new();
+    let mut max_edge = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut t = Vec::new();
+        for tok in body.split(|c: char| c == ',' || c.is_whitespace()) {
+            if tok.is_empty() {
+                continue;
+            }
+            let e: u32 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad edge id {tok:?}", lineno + 1))?;
+            max_edge = max_edge.max(e);
+            t.push(e);
+        }
+        if !t.is_empty() {
+            trajs.push(t);
+        }
+    }
+    if trajs.is_empty() {
+        return Err("no trajectories in input".to_string());
+    }
+    Ok((trajs, max_edge as usize + 1))
+}
+
+/// Parse a comma-separated edge path (`"12,13,14"`).
+pub fn parse_path(spec: &str) -> Result<Vec<u32>, String> {
+    let path: Result<Vec<u32>, String> = spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad edge id {t:?} in path"))
+        })
+        .collect();
+    let path = path?;
+    if path.is_empty() {
+        return Err("empty path".to_string());
+    }
+    Ok(path)
+}
+
+/// Render a trajectory as the CLI's comma-separated format.
+pub fn format_trajectory(t: &[u32]) -> String {
+    t.iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_separators_and_comments() {
+        let input = "0,1, 4 5\n# full comment line\n\n0 1 2  # trailing comment\n7\n";
+        let (trajs, n_edges) = parse_trajectories(input.as_bytes()).unwrap();
+        assert_eq!(trajs, vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![7]]);
+        assert_eq!(n_edges, 8);
+    }
+
+    #[test]
+    fn rejects_bad_ids_with_line_numbers() {
+        let err = parse_trajectories("0,1\n2,x,3\n".as_bytes()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("\"x\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_trajectories("# nothing\n\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn path_parsing() {
+        assert_eq!(parse_path("3, 4 ,5").unwrap(), vec![3, 4, 5]);
+        assert!(parse_path("3,,5").is_err());
+        assert!(parse_path("").is_err());
+    }
+
+    #[test]
+    fn format_roundtrip() {
+        let t = vec![10u32, 0, 999];
+        let s = format_trajectory(&t);
+        assert_eq!(s, "10,0,999");
+        assert_eq!(parse_path(&s).unwrap(), t);
+    }
+}

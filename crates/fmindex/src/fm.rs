@@ -1,0 +1,264 @@
+//! The generic FM-index and the [`PatternIndex`] query interface.
+//!
+//! [`FmIndex`] stores `C[w]` plus the BWT in any [`SymbolSeq`]; backward
+//! search follows the paper's Algorithm 1 (`SearchFM`), and sub-path
+//! extraction follows the LF-mapping walk of Algorithm 4 (without the RML
+//! decoding steps, which belong to CiNCT).
+
+use cinct_bwt::{bwt_from_sa, suffix_array, CArray};
+use cinct_succinct::{Symbol, SymbolSeq};
+use std::ops::Range;
+
+/// Queries shared by every index in this workspace (the five baselines here
+/// and CiNCT in the `cinct` crate).
+pub trait PatternIndex {
+    /// Length of the indexed string (including sentinels).
+    fn len(&self) -> usize;
+
+    /// `true` iff nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The suffix range `R(P) = [sp, ep)` of an (encoded) pattern, or
+    /// `None` when the pattern does not occur.
+    fn suffix_range(&self, pattern: &[Symbol]) -> Option<Range<usize>>;
+
+    /// Number of occurrences of the pattern.
+    fn count(&self, pattern: &[Symbol]) -> usize {
+        self.suffix_range(pattern).map_or(0, |r| r.len())
+    }
+
+    /// `extract(j, l)`: the `l` text symbols ending at the position whose
+    /// inverse-suffix-array value is `j` — i.e. `T[i-l..i)` with `i = SA[j]`
+    /// (paper §IV-C). Shorter output if the walk hits the start of `T`.
+    fn extract(&self, j: usize, l: usize) -> Vec<Symbol>;
+
+    /// Heap bytes used by the index.
+    fn size_in_bytes(&self) -> usize;
+
+    /// Index size in bits per indexed symbol (the y-axis of paper Fig. 10).
+    fn bits_per_symbol(&self) -> f64 {
+        self.size_in_bytes() as f64 * 8.0 / self.len() as f64
+    }
+}
+
+/// FM-index generic over the BWT container.
+#[derive(Clone, Debug)]
+pub struct FmIndex<S: SymbolSeq> {
+    c: CArray,
+    seq: S,
+}
+
+impl<S: SymbolSeq> FmIndex<S> {
+    /// Index `text` (which must end with the unique smallest sentinel) using
+    /// `make_seq` to wrap its BWT.
+    pub fn from_text_with(text: &[u32], sigma: usize, make_seq: impl FnOnce(&[u32]) -> S) -> Self {
+        let sa = suffix_array(text, sigma);
+        let bwt = bwt_from_sa(text, &sa);
+        Self::from_bwt_with(&bwt, sigma, make_seq)
+    }
+
+    /// Wrap an existing BWT.
+    pub fn from_bwt_with(bwt: &[u32], sigma: usize, make_seq: impl FnOnce(&[u32]) -> S) -> Self {
+        let c = CArray::new(bwt, sigma);
+        Self {
+            c,
+            seq: make_seq(bwt),
+        }
+    }
+
+    /// The `C` array.
+    pub fn c_array(&self) -> &CArray {
+        &self.c
+    }
+
+    /// The BWT container.
+    pub fn seq(&self) -> &S {
+        &self.seq
+    }
+
+    /// One LF-mapping step from BWT position `j`: returns
+    /// `(previous text symbol, next BWT position)`.
+    #[inline]
+    pub fn lf_step(&self, j: usize) -> (Symbol, usize) {
+        let w = self.seq.access(j);
+        (w, self.c.get(w) + self.seq.rank(w, j))
+    }
+}
+
+impl<S: SymbolSeq> PatternIndex for FmIndex<S> {
+    fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Algorithm 1 (`SearchFM`): backward search over the BWT.
+    fn suffix_range(&self, pattern: &[Symbol]) -> Option<Range<usize>> {
+        let m = pattern.len();
+        if m == 0 {
+            return Some(0..self.len());
+        }
+        let w = pattern[m - 1];
+        if w as usize >= self.c.sigma() {
+            return None;
+        }
+        let mut sp = self.c.get(w);
+        let mut ep = self.c.get(w + 1);
+        for i in 2..=m {
+            if sp >= ep {
+                return None;
+            }
+            let w = pattern[m - i];
+            if w as usize >= self.c.sigma() {
+                return None;
+            }
+            sp = self.c.get(w) + self.seq.rank(w, sp);
+            ep = self.c.get(w) + self.seq.rank(w, ep);
+        }
+        if sp < ep {
+            Some(sp..ep)
+        } else {
+            None
+        }
+    }
+
+    fn extract(&self, j: usize, l: usize) -> Vec<Symbol> {
+        let mut out = vec![0 as Symbol; l];
+        let mut j = j;
+        for k in 0..l {
+            let (w, next) = self.lf_step(j);
+            out[l - 1 - k] = w;
+            j = next;
+        }
+        out
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.c.size_in_bytes() + self.seq.size_in_bytes()
+    }
+}
+
+impl<S: SymbolSeq + SymbolSeqFromBwt> FmIndex<S> {
+    /// Index `text` with the container's default construction.
+    pub fn from_text(text: &[u32], sigma: usize) -> Self {
+        Self::from_text_with(text, sigma, |bwt| S::from_bwt(bwt, sigma))
+    }
+
+    /// Wrap an existing BWT with the container's default construction.
+    pub fn from_bwt(bwt: &[u32], sigma: usize) -> Self {
+        Self::from_bwt_with(bwt, sigma, |b| S::from_bwt(b, sigma))
+    }
+}
+
+/// Default construction of a BWT container; lets `FmIndex::<X>::from_text`
+/// work for every variant without threading per-variant parameters.
+pub trait SymbolSeqFromBwt: SymbolSeq + Sized {
+    /// Build the container over `bwt` with alphabet `0..sigma`.
+    fn from_bwt(bwt: &[u32], sigma: usize) -> Self;
+}
+
+impl<B: cinct_succinct::BitVecBuild> SymbolSeqFromBwt for cinct_succinct::WaveletMatrix<B> {
+    fn from_bwt(bwt: &[u32], _sigma: usize) -> Self {
+        Self::new(bwt)
+    }
+}
+
+impl<B: cinct_succinct::BitVecBuild> SymbolSeqFromBwt for cinct_succinct::HuffmanWaveletTree<B> {
+    fn from_bwt(bwt: &[u32], _sigma: usize) -> Self {
+        Self::new(bwt)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indices appear in assertion messages
+mod tests {
+    use super::*;
+    use cinct_bwt::TrajectoryString;
+    use cinct_succinct::{RankBitVec, WaveletMatrix};
+
+    type TestIndex = FmIndex<WaveletMatrix<RankBitVec>>;
+
+    /// Paper running example (Fig. 1 / Eq. (1)).
+    fn paper_index() -> (TrajectoryString, TestIndex) {
+        let trajs = vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+        let ts = TrajectoryString::build(&trajs, 6);
+        let idx = TestIndex::from_text(ts.text(), ts.sigma());
+        (ts, idx)
+    }
+
+    #[test]
+    fn suffix_range_matches_paper_fig2() {
+        let (_, idx) = paper_index();
+        // P = BA → R(P) = [9, 11) (paper §II-A2). Edge ids: A=0 → symbol 2,
+        // B=1 → symbol 3. Pattern "BA" over T means path A then B (T holds
+        // reversed trajectories): encode_pattern([A, B]) = [B+2, A+2].
+        let pattern = TrajectoryString::encode_pattern(&[0, 1]);
+        assert_eq!(pattern, vec![3, 2]);
+        assert_eq!(idx.suffix_range(&pattern), Some(9..11));
+        assert_eq!(idx.count(&pattern), 2); // T1 and T2 travel A→B
+    }
+
+    #[test]
+    fn counts_match_naive_scan() {
+        let trajs = vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+        let ts = TrajectoryString::build(&trajs, 6);
+        let idx = TestIndex::from_text(ts.text(), ts.sigma());
+        let paths: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![1],
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 1, 4],
+            vec![4, 5],
+            vec![5, 4], // absent
+            vec![3, 3], // absent
+        ];
+        for p in paths {
+            let expected: usize = trajs
+                .iter()
+                .map(|t| t.windows(p.len()).filter(|w| *w == &p[..]).count())
+                .sum();
+            let got = idx.count(&TrajectoryString::encode_pattern(&p));
+            assert_eq!(got, expected, "path {p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let (ts, idx) = paper_index();
+        assert_eq!(idx.suffix_range(&[]), Some(0..ts.len()));
+    }
+
+    #[test]
+    fn out_of_alphabet_pattern() {
+        let (_, idx) = paper_index();
+        assert_eq!(idx.suffix_range(&[100]), None);
+        assert_eq!(idx.suffix_range(&[2, 100]), None);
+    }
+
+    #[test]
+    fn extract_recovers_prefixes() {
+        // Paper §IV-C example: the rotation at j=3 has suffix FEBA = T1^r.
+        let (ts, idx) = paper_index();
+        // extract(j, l) returns T[i-l..i), i = SA[j]. Verify against the
+        // text for every j by computing SA naively.
+        let sa = cinct_bwt::sais::naive_suffix_array(ts.text());
+        for j in 0..ts.len() {
+            let i = sa[j] as usize;
+            for l in 1..=4usize.min(i) {
+                let got = idx.extract(j, l);
+                assert_eq!(&got[..], &ts.text()[i - l..i], "j={j} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_full_text() {
+        let (ts, idx) = paper_index();
+        // Row 0 is the rotation starting with '#', i.e. SA[0] = n-1; walking
+        // n-1 symbols back recovers T[0..n-1).
+        let n = ts.len();
+        let got = idx.extract(0, n - 1);
+        assert_eq!(&got[..], &ts.text()[..n - 1]);
+    }
+}

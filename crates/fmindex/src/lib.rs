@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Baseline FM-index family (paper Table II).
+//!
+//! A single generic [`FmIndex`] parameterised by the symbol-rank structure
+//! holding the BWT yields the paper's five competitors:
+//!
+//! | Paper name  | Instantiation                                        |
+//! |-------------|------------------------------------------------------|
+//! | `UFMI`      | wavelet matrix over uncompressed bitmaps              |
+//! | `ICB-WM`    | wavelet matrix over RRR bitmaps                       |
+//! | `ICB-Huff`  | Huffman-shaped wavelet tree over RRR bitmaps          |
+//! | `FM-GMR`    | per-symbol position lists (large-alphabet, fast, big) |
+//! | `FM-AP-HYB` | alphabet partitioning (large-alphabet, compressed)    |
+//!
+//! All of them (and CiNCT in `cinct`) implement [`PatternIndex`]: suffix
+//! range queries (Algorithm 1), counting, and sub-path extraction.
+
+pub mod ap;
+pub mod fm;
+pub mod gmr;
+
+pub use ap::AlphabetPartitionSeq;
+pub use fm::{FmIndex, PatternIndex};
+pub use gmr::PositionListSeq;
+
+use cinct_succinct::{RankBitVec, RrrBitVec, HuffmanWaveletTree, WaveletMatrix};
+
+/// `UFMI`: FM-index over a wavelet matrix with plain bitmaps.
+pub type Ufmi = FmIndex<WaveletMatrix<RankBitVec>>;
+/// `ICB-WM`: FM-index over a wavelet matrix with RRR bitmaps
+/// (implicit compression boosting, Brisaboa et al. \[3\]).
+pub type IcbWm = FmIndex<WaveletMatrix<RrrBitVec>>;
+/// `ICB-Huff`: FM-index over a Huffman-shaped wavelet tree with RRR bitmaps
+/// (Mäkinen & Navarro \[17\]).
+pub type IcbHuff = FmIndex<HuffmanWaveletTree<RrrBitVec>>;
+/// `FM-GMR`-style: FM-index over per-symbol position lists.
+pub type FmGmr = FmIndex<PositionListSeq>;
+/// `FM-AP-HYB`-style: FM-index over an alphabet-partitioned sequence.
+pub type FmApHyb = FmIndex<AlphabetPartitionSeq>;

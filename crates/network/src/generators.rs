@@ -1,0 +1,253 @@
+//! Deterministic synthetic road networks.
+//!
+//! Three families cover the regimes of the paper's evaluation:
+//! * [`grid_city`] — Manhattan-style grids with bidirectional streets
+//!   (Singapore / MO-gen emulations; node out-degree ≤ 4, so the edge
+//!   successor degree δ matches real road networks).
+//! * [`ring_radial_city`] — sparse ring+radial topology (Roma emulation:
+//!   very low branching, long straight arterials).
+//! * [`poisson_digraph`] — directed random graph with Poisson out-degrees
+//!   (the paper's RandWalk synthetic data for Figs. 12 and 13, where σ and
+//!   the average out-degree d̄ are swept independently).
+
+use crate::graph::{Edge, NodeId, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `w × h` grid of intersections with bidirectional streets between
+/// orthogonal neighbours. Edge weights are jittered around 1.0 so shortest
+/// paths are unique with probability 1.
+pub fn grid_city(w: usize, h: usize, seed: u64) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut coords = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            coords.push((x as f64, y as f64));
+        }
+    }
+    let mut edges = Vec::new();
+    let mut push_bidir = |a: NodeId, b: NodeId, rng: &mut StdRng| {
+        let wt = 1.0 + rng.gen::<f64>() * 0.1;
+        edges.push(Edge { from: a, to: b, weight: wt });
+        let wt = 1.0 + rng.gen::<f64>() * 0.1;
+        edges.push(Edge { from: b, to: a, weight: wt });
+    };
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                push_bidir(node(x, y), node(x + 1, y), &mut rng);
+            }
+            if y + 1 < h {
+                push_bidir(node(x, y), node(x, y + 1), &mut rng);
+            }
+        }
+    }
+    RoadNetwork::new(coords, edges)
+}
+
+/// A ring-and-radial city: `rings` concentric rings of `spokes` nodes each,
+/// connected along rings (bidirectional) and along spokes (bidirectional),
+/// plus a central node. Produces long, low-branching corridors.
+pub fn ring_radial_city(rings: usize, spokes: usize, seed: u64) -> RoadNetwork {
+    assert!(rings >= 1 && spokes >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = vec![(0.0, 0.0)]; // node 0 = center
+    for r in 1..=rings {
+        for s in 0..spokes {
+            let theta = (s as f64) / (spokes as f64) * std::f64::consts::TAU;
+            coords.push((r as f64 * theta.cos(), r as f64 * theta.sin()));
+        }
+    }
+    let node = |r: usize, s: usize| -> NodeId {
+        debug_assert!(r >= 1);
+        (1 + (r - 1) * spokes + (s % spokes)) as NodeId
+    };
+    let mut edges = Vec::new();
+    let mut push_bidir = |a: NodeId, b: NodeId, base: f64, rng: &mut StdRng| {
+        let wt = base * (1.0 + rng.gen::<f64>() * 0.05);
+        edges.push(Edge { from: a, to: b, weight: wt });
+        let wt = base * (1.0 + rng.gen::<f64>() * 0.05);
+        edges.push(Edge { from: b, to: a, weight: wt });
+    };
+    // Ring edges.
+    for r in 1..=rings {
+        for s in 0..spokes {
+            push_bidir(node(r, s), node(r, s + 1), r as f64 * 0.4, &mut rng);
+        }
+    }
+    // Radial edges (center to ring 1, then ring r to r+1) on every 4th spoke
+    // to keep branching low.
+    for s in (0..spokes).step_by(4) {
+        push_bidir(0, node(1, s), 1.0, &mut rng);
+    }
+    for r in 1..rings {
+        for s in (0..spokes).step_by(2) {
+            push_bidir(node(r, s), node(r + 1, s), 1.0, &mut rng);
+        }
+    }
+    RoadNetwork::new(coords, edges)
+}
+
+/// Directed random graph for the paper's RandWalk experiments: `n_edges`
+/// road segments are created by giving each of the `n_edges / avg_out_degree`
+/// nodes a Poisson(`avg_out_degree`)-distributed number of outgoing edges to
+/// uniformly random targets (min 1, so walks never get stuck).
+///
+/// The result has σ ≈ `n_edges` and ET-graph average out-degree ≈
+/// `avg_out_degree`, the two axes swept in Figs. 12–13.
+pub fn poisson_digraph(n_edges: usize, avg_out_degree: f64, seed: u64) -> RoadNetwork {
+    assert!(avg_out_degree >= 1.0);
+    let n_nodes = ((n_edges as f64 / avg_out_degree).round() as usize).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        coords.push((rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    // First give every node one outgoing edge (connectivity), then distribute
+    // the remainder ~Poisson by uniform assignment of extra stubs.
+    for v in 0..n_nodes {
+        let to = rng.gen_range(0..n_nodes) as NodeId;
+        edges.push(Edge {
+            from: v as NodeId,
+            to,
+            weight: 1.0 + rng.gen::<f64>() * 0.1,
+        });
+    }
+    while edges.len() < n_edges {
+        let from = rng.gen_range(0..n_nodes) as NodeId;
+        let to = rng.gen_range(0..n_nodes) as NodeId;
+        edges.push(Edge {
+            from,
+            to,
+            weight: 1.0 + rng.gen::<f64>() * 0.1,
+        });
+    }
+    RoadNetwork::new(coords, edges)
+}
+
+/// A sparse layered DAG emulating chess-opening state graphs (Table III's
+/// Chess dataset): `width` states per ply over `plies` plies; each state has
+/// a small Zipf-distributed number of successors in the next ply. Returned
+/// as a road network whose "edges" are state-transition arcs; trajectories
+/// over it are game prefixes.
+pub fn layered_dag(plies: usize, width: usize, max_branch: usize, seed: u64) -> RoadNetwork {
+    assert!(plies >= 2 && width >= 1 && max_branch >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nodes = plies * width + 1; // + start node
+    let mut coords = Vec::with_capacity(n_nodes);
+    coords.push((0.0, 0.0));
+    for p in 0..plies {
+        for s in 0..width {
+            coords.push((p as f64 + 1.0, s as f64));
+        }
+    }
+    let node = |p: usize, s: usize| (1 + p * width + s) as NodeId;
+    let mut edges = Vec::new();
+    // Start node fans out to a handful of first moves.
+    let first_moves = max_branch.min(width).max(1);
+    for s in 0..first_moves {
+        edges.push(Edge {
+            from: 0,
+            to: node(0, s * width / first_moves),
+            weight: 1.0,
+        });
+    }
+    // Zipf-ish branching per state: branch count k with prob ∝ 1/k.
+    let harmonic: f64 = (1..=max_branch).map(|k| 1.0 / k as f64).sum();
+    for p in 0..plies - 1 {
+        for s in 0..width {
+            let u = rng.gen::<f64>() * harmonic;
+            let mut acc = 0.0;
+            let mut branches = 1;
+            for k in 1..=max_branch {
+                acc += 1.0 / k as f64;
+                if u <= acc {
+                    branches = k;
+                    break;
+                }
+            }
+            for _ in 0..branches {
+                let t = rng.gen_range(0..width);
+                edges.push(Edge {
+                    from: node(p, s),
+                    to: node(p + 1, t),
+                    weight: 1.0,
+                });
+            }
+        }
+    }
+    RoadNetwork::new(coords, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let net = grid_city(5, 4, 1);
+        assert_eq!(net.num_nodes(), 20);
+        // edges: horizontal 4*4*2 + vertical 5*3*2 = 32 + 30 = 62
+        assert_eq!(net.num_edges(), 62);
+        // Interior nodes have out-degree 4.
+        assert_eq!(net.max_out_degree(), 4);
+        // Every edge has at least one successor (grids are strongly connected).
+        for e in 0..net.num_edges() as u32 {
+            assert!(!net.successors(e).is_empty(), "edge {e} is a dead end");
+        }
+    }
+
+    #[test]
+    fn grid_deterministic() {
+        let a = grid_city(4, 4, 9);
+        let b = grid_city(4, 4, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in 0..a.num_edges() as u32 {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+    }
+
+    #[test]
+    fn poisson_degree_targets() {
+        let net = poisson_digraph(10_000, 4.0, 3);
+        assert_eq!(net.num_edges(), 10_000);
+        let d = net.avg_out_degree();
+        assert!((d - 4.0).abs() < 0.5, "avg out-degree {d}");
+        for e in 0..net.num_edges() as u32 {
+            assert!(!net.successors(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn poisson_degree_sweep() {
+        for target in [2.0f64, 8.0, 32.0] {
+            let net = poisson_digraph(5_000, target, 7);
+            let d = net.avg_out_degree();
+            assert!(
+                (d - target).abs() / target < 0.25,
+                "target {target} got {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_radial_is_sparse() {
+        let net = ring_radial_city(6, 24, 5);
+        assert!(net.avg_out_degree() < 4.0);
+        assert!(net.num_edges() > 100);
+    }
+
+    #[test]
+    fn layered_dag_is_acyclic_by_levels() {
+        let net = layered_dag(10, 50, 5, 11);
+        // every edge goes from ply p to ply p+1 (or from start)
+        for e in 0..net.num_edges() as u32 {
+            let edge = net.edge(e);
+            let from_ply = if edge.from == 0 { -1 } else { ((edge.from - 1) / 50) as i64 };
+            let to_ply = ((edge.to - 1) / 50) as i64;
+            assert_eq!(to_ply, from_ply + 1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! Road networks and trajectory generation.
+//!
+//! CiNCT indexes *network-constrained trajectories* — edge sequences on a
+//! directed road graph. This crate supplies:
+//!
+//! * [`graph`] — the directed road-network model with edge adjacency
+//!   ("which edges can follow edge `e`"), turn geometry, and Dijkstra
+//!   shortest paths.
+//! * [`generators`] — deterministic synthetic networks: grid cities,
+//!   ring-radial cities, and Poisson random digraphs (the paper's RandWalk
+//!   substrate for Figs. 12–13).
+//! * [`travel`] — trajectory generation: turn-biased random walks,
+//!   shortest-path trips between origin/destination pairs, gap-noise
+//!   injection and shortest-path gap interpolation (the Singapore vs
+//!   Singapore-2 preprocessing of §VI-A4).
+
+pub mod generators;
+pub mod graph;
+pub mod travel;
+
+pub use graph::{EdgeId, NodeId, RoadNetwork};
+pub use travel::{GapNoise, TripGenerator, WalkConfig};

@@ -1,0 +1,253 @@
+//! A growable bit buffer with word-level access.
+//!
+//! [`BitBuf`] is the raw material from which the rank structures are built:
+//! wavelet-tree construction appends bits level by level, then hands the
+//! buffer to [`crate::RankBitVec`] or [`crate::RrrBitVec`].
+
+use crate::traits::SpaceUsage;
+
+/// An append-only, randomly readable vector of bits, stored LSB-first in
+/// `u64` words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with capacity for `nbits` bits.
+    pub fn with_capacity(nbits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(nbits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// A buffer of `nbits` zero bits.
+    pub fn zeros(nbits: usize) -> Self {
+        Self {
+            words: vec![0u64; nbits.div_ceil(64)],
+            len: nbits,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Append the low `width` bits of `value`, LSB first. `width <= 64`.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value < (1u64 << width) || width == 0);
+        if width == 0 {
+            return;
+        }
+        let off = self.len % 64;
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        if off + width > 64 {
+            self.words.push(value >> (64 - off));
+        }
+        self.len += width;
+    }
+
+    /// Read the bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set the bit at position `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if bit {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Read `width <= 64` bits starting at position `i`, LSB first.
+    #[inline]
+    pub fn get_bits(&self, i: usize, width: usize) -> u64 {
+        debug_assert!(width <= 64);
+        debug_assert!(i + width <= self.len);
+        if width == 0 {
+            return 0;
+        }
+        let word = i / 64;
+        let off = i % 64;
+        let mut v = self.words[word] >> off;
+        if off + width > 64 {
+            v |= self.words[word + 1] << (64 - off);
+        }
+        if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        }
+    }
+
+    /// The underlying words (the last word's high bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassemble from raw words + bit length (persistence support). The
+    /// caller must supply exactly `len.div_ceil(64)` words.
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        Self { words, len }
+    }
+
+    /// Count of ones in the whole buffer.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Build from an iterator of bools.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut b = Self::new();
+        for bit in iter {
+            b.push(bit);
+        }
+        b
+    }
+
+    /// Shrink the backing storage to fit.
+    pub fn shrink_to_fit(&mut self) {
+        self.words.shrink_to_fit();
+    }
+}
+
+impl SpaceUsage for BitBuf {
+    fn size_in_bytes(&self) -> usize {
+        self.words.capacity() * 8 + std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let pattern = |i: usize| (i * 7 + 3) % 5 < 2;
+        let mut b = BitBuf::new();
+        for i in 0..1000 {
+            b.push(pattern(i));
+        }
+        assert_eq!(b.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(b.get(i), pattern(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn push_bits_matches_single_pushes() {
+        let mut a = BitBuf::new();
+        let mut b = BitBuf::new();
+        let values = [
+            (0b1011u64, 4),
+            (0u64, 1),
+            (u64::MAX, 64),
+            (0b1, 1),
+            (0x1234_5678_9abc_def0, 61),
+            (0, 0),
+            (0b111, 3),
+        ];
+        for &(v, w) in &values {
+            a.push_bits(v, w);
+            for k in 0..w {
+                b.push((v >> k) & 1 == 1);
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn get_bits_roundtrip() {
+        let mut b = BitBuf::new();
+        let vals: Vec<(u64, usize)> = (0..200)
+            .map(|i| {
+                let w = 1 + (i * 13) % 64;
+                let v = (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))
+                    & if w == 64 { u64::MAX } else { (1 << w) - 1 };
+                (v, w)
+            })
+            .collect();
+        for &(v, w) in &vals {
+            b.push_bits(v, w);
+        }
+        let mut pos = 0;
+        for &(v, w) in &vals {
+            assert_eq!(b.get_bits(pos, w), v);
+            pos += w;
+        }
+    }
+
+    #[test]
+    fn set_and_zeros() {
+        let mut b = BitBuf::zeros(130);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert_eq!(b.count_ones(), 2);
+        assert!(b.get(0) && b.get(129) && !b.get(64));
+    }
+
+    #[test]
+    fn from_bools_iter() {
+        let bits = vec![true, false, true, true, false];
+        let b = BitBuf::from_bools(bits.iter().copied());
+        let back: Vec<bool> = b.iter().collect();
+        assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = BitBuf::new();
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.get_bits(0, 0), 0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Huffman coding over `u32` alphabets.
+//!
+//! Two consumers:
+//! * [`crate::HuffmanWaveletTree`] takes the *tree shape* (the HWT of the
+//!   paper, §II-A4) — each internal node becomes a wavelet-tree node.
+//! * The baseline compressors (`cinct-compressors`) take the *code table*
+//!   to entropy-code label streams (MEL + Huffman, bzip2-like, zip-like).
+//!
+//! Ties are broken deterministically (by symbol id, then node creation
+//! order) so builds are reproducible across runs.
+
+use crate::bits::BitBuf;
+use crate::traits::{SpaceUsage, Symbol};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One Huffman codeword: up to 64 bits, MSB-first semantics (bit `len-1-k`
+/// of `bits` is the `k`-th bit on the root-to-leaf path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Codeword {
+    /// Code bits; bit 0 is the *last* edge on the path.
+    pub bits: u64,
+    /// Code length in bits.
+    pub len: u8,
+}
+
+impl Codeword {
+    /// The `k`-th bit on the root-to-leaf path (k = 0 is at the root).
+    #[inline]
+    pub fn path_bit(&self, k: usize) -> bool {
+        debug_assert!(k < self.len as usize);
+        (self.bits >> (self.len as usize - 1 - k)) & 1 == 1
+    }
+}
+
+/// Compact codeword table: per-symbol code bits packed at the width of the
+/// deepest code, plus one length byte. Keeps the per-alphabet-symbol
+/// overhead near `max_len + 8` bits instead of the 24 bytes a
+/// `Vec<Option<Codeword>>` would cost — this matters because the wavelet
+/// tree's size accounting feeds the paper's bits-per-symbol plots.
+#[derive(Clone, Debug)]
+pub struct CodeTable {
+    bits: crate::int_vec::IntVec,
+    /// Code length per symbol; 0 = symbol has no code.
+    lens: Vec<u8>,
+}
+
+impl CodeTable {
+    fn from_options(codes: &[Option<Codeword>]) -> Self {
+        let max_len = codes
+            .iter()
+            .flatten()
+            .map(|c| c.len as usize)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut bits = crate::int_vec::IntVec::with_capacity(max_len, codes.len());
+        let mut lens = Vec::with_capacity(codes.len());
+        for c in codes {
+            match c {
+                Some(cw) => {
+                    bits.push(cw.bits);
+                    lens.push(cw.len);
+                }
+                None => {
+                    bits.push(0);
+                    lens.push(0);
+                }
+            }
+        }
+        Self { bits, lens }
+    }
+
+    /// The codeword for `sym`, or `None` if it had zero frequency.
+    #[inline]
+    pub fn get(&self, sym: Symbol) -> Option<Codeword> {
+        let len = *self.lens.get(sym as usize)?;
+        if len == 0 {
+            return None;
+        }
+        Some(Codeword {
+            bits: self.bits.get(sym as usize),
+            len,
+        })
+    }
+
+    /// Number of alphabet slots.
+    pub fn len(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// `true` iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// Raw fields (persistence support).
+    pub fn raw_parts(&self) -> (&crate::int_vec::IntVec, &[u8]) {
+        (&self.bits, &self.lens)
+    }
+
+    /// Reassemble; `None` if the arrays disagree in length.
+    pub fn from_raw_parts(bits: crate::int_vec::IntVec, lens: Vec<u8>) -> Option<Self> {
+        if bits.len() != lens.len() {
+            return None;
+        }
+        Some(Self { bits, lens })
+    }
+}
+
+impl SpaceUsage for CodeTable {
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes() + self.lens.capacity()
+    }
+}
+
+/// Explicit Huffman tree. Node 0 is the root (when `symbols >= 2`).
+#[derive(Clone, Debug)]
+pub struct HuffmanTree {
+    /// For each internal node: (left child, right child). Children are
+    /// either `Node(i)` or `Leaf(symbol)`.
+    pub nodes: Vec<(Child, Child)>,
+    /// Codeword per symbol (compact).
+    pub codes: CodeTable,
+    /// Number of symbols with nonzero frequency.
+    pub live_symbols: usize,
+}
+
+/// A child edge in the Huffman tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Child {
+    /// Internal node index.
+    Node(u32),
+    /// Leaf holding a symbol.
+    Leaf(Symbol),
+}
+
+impl HuffmanTree {
+    /// Build from per-symbol frequencies (index = symbol). Symbols with zero
+    /// frequency get no code. Requires at least one nonzero frequency.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        #[derive(PartialEq, Eq)]
+        struct HeapItem {
+            weight: u64,
+            tiebreak: u64,
+            child: Child,
+        }
+        impl Ord for HeapItem {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                (self.weight, self.tiebreak).cmp(&(other.weight, other.tiebreak))
+            }
+        }
+        impl PartialOrd for HeapItem {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+        let mut live = 0usize;
+        for (sym, &f) in freqs.iter().enumerate() {
+            if f > 0 {
+                live += 1;
+                heap.push(Reverse(HeapItem {
+                    weight: f,
+                    tiebreak: sym as u64,
+                    child: Child::Leaf(sym as Symbol),
+                }));
+            }
+        }
+        assert!(live > 0, "Huffman tree needs at least one symbol");
+
+        let mut nodes: Vec<(Child, Child)> = Vec::with_capacity(live.saturating_sub(1));
+        if live == 1 {
+            // Degenerate alphabet: give the lone symbol a 1-bit code under a
+            // synthetic root so downstream consumers need no special case.
+            let Reverse(item) = heap.pop().expect("one item");
+            nodes.push((item.child, item.child));
+        } else {
+            let mut next_tiebreak = freqs.len() as u64;
+            while heap.len() >= 2 {
+                let Reverse(a) = heap.pop().expect("len >= 2");
+                let Reverse(b) = heap.pop().expect("len >= 2");
+                let id = nodes.len() as u32;
+                nodes.push((a.child, b.child));
+                heap.push(Reverse(HeapItem {
+                    weight: a.weight + b.weight,
+                    tiebreak: next_tiebreak,
+                    child: Child::Node(id),
+                }));
+                next_tiebreak += 1;
+            }
+        }
+        // The last created node is the root; re-root to index 0 by reversing
+        // node order.
+        let n = nodes.len();
+        let remap = |c: Child| match c {
+            Child::Node(i) => Child::Node((n - 1 - i as usize) as u32),
+            leaf => leaf,
+        };
+        let nodes: Vec<(Child, Child)> = nodes
+            .into_iter()
+            .rev()
+            .map(|(l, r)| (remap(l), remap(r)))
+            .collect();
+
+        // Assign codes by DFS.
+        let mut codes: Vec<Option<Codeword>> = vec![None; freqs.len()];
+        let mut stack: Vec<(u32, u64, u8)> = vec![(0, 0, 0)];
+        while let Some((node, bits, len)) = stack.pop() {
+            let (l, r) = nodes[node as usize];
+            for (child, bit) in [(l, 0u64), (r, 1u64)] {
+                let nbits = (bits << 1) | bit;
+                let nlen = len + 1;
+                assert!(nlen <= 64, "Huffman code longer than 64 bits");
+                match child {
+                    Child::Leaf(s) => {
+                        codes[s as usize] = Some(Codeword { bits: nbits, len: nlen });
+                    }
+                    Child::Node(i) => stack.push((i, nbits, nlen)),
+                }
+            }
+        }
+        Self {
+            nodes,
+            codes: CodeTable::from_options(&codes),
+            live_symbols: live,
+        }
+    }
+
+    /// The codeword for `sym`, or `None` if it had zero frequency.
+    #[inline]
+    pub fn code(&self, sym: Symbol) -> Option<Codeword> {
+        self.codes.get(sym)
+    }
+
+    /// Number of internal nodes.
+    pub fn internal_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A flat Huffman code table plus a decoder, for stream compression.
+#[derive(Clone, Debug)]
+pub struct HuffmanCode {
+    tree: HuffmanTree,
+}
+
+impl HuffmanCode {
+    /// Build a code for the given frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        Self {
+            tree: HuffmanTree::from_freqs(freqs),
+        }
+    }
+
+    /// Build from a sequence by counting symbol occurrences.
+    pub fn from_seq(seq: &[Symbol]) -> Self {
+        let sigma = seq.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let mut freqs = vec![0u64; sigma];
+        for &s in seq {
+            freqs[s as usize] += 1;
+        }
+        Self::from_freqs(&freqs)
+    }
+
+    /// The codeword for `sym`, if it had nonzero frequency.
+    pub fn code(&self, sym: Symbol) -> Option<Codeword> {
+        self.tree.codes.get(sym)
+    }
+
+    /// Encode a sequence into a bit buffer (path bits, root first).
+    pub fn encode(&self, seq: &[Symbol]) -> BitBuf {
+        let mut out = BitBuf::new();
+        for &s in seq {
+            let cw = self.code(s).expect("symbol not in code table");
+            for k in 0..cw.len as usize {
+                out.push(cw.path_bit(k));
+            }
+        }
+        out
+    }
+
+    /// Decode `count` symbols starting at bit `pos`; returns the symbols and
+    /// the bit position after the last decoded symbol.
+    pub fn decode(&self, bits: &BitBuf, mut pos: usize, count: usize) -> (Vec<Symbol>, usize) {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut node = 0u32;
+            loop {
+                let (l, r) = self.tree.nodes[node as usize];
+                let child = if bits.get(pos) { r } else { l };
+                pos += 1;
+                match child {
+                    Child::Leaf(s) => {
+                        out.push(s);
+                        break;
+                    }
+                    Child::Node(i) => node = i,
+                }
+            }
+        }
+        (out, pos)
+    }
+
+    /// Total encoded length in bits for the given frequencies (excluding the
+    /// model). This is `sum_w freq[w] * len(code(w))`.
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| {
+                f * self
+                    .code(s as Symbol)
+                    .map_or(0, |c| c.len as u64)
+            })
+            .sum()
+    }
+
+    /// Access the underlying tree (for wavelet-tree construction).
+    pub fn tree(&self) -> &HuffmanTree {
+        &self.tree
+    }
+
+    /// Serialized model cost in bits: one length per alphabet symbol (a
+    /// canonical-code table). Used by compressors for honest size accounting.
+    pub fn model_bits(&self) -> u64 {
+        (self.tree.codes.len() as u64) * 6 // code lengths <= 64 → 6 bits each
+    }
+}
+
+impl SpaceUsage for HuffmanTree {
+    fn size_in_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<(Child, Child)>()
+            + self.codes.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kraft_equality_and_prefix_freedom() {
+        let freqs = [5u64, 9, 12, 13, 16, 45, 0, 3];
+        let tree = HuffmanTree::from_freqs(&freqs);
+        // Kraft sum over live symbols must be exactly 1 for a full binary tree.
+        let mut kraft_num = 0u128; // numerator over denominator 2^64
+        for s in 0..freqs.len() as u32 {
+            if let Some(code) = tree.code(s) {
+                kraft_num += 1u128 << (64 - code.len as u32);
+            }
+        }
+        assert_eq!(kraft_num, 1u128 << 64);
+        // Prefix freedom.
+        let live: Vec<Codeword> = (0..freqs.len() as u32).filter_map(|s| tree.code(s)).collect();
+        for (i, a) in live.iter().enumerate() {
+            for (j, b) in live.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (short, long) = if a.len <= b.len { (a, b) } else { (b, a) };
+                let prefix = long.bits >> (long.len - short.len);
+                assert!(
+                    !(prefix == short.bits && a.len != b.len) || short.len == long.len,
+                    "codeword {i} is a prefix of {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_code_lengths_classic_example() {
+        // Classic frequencies: the most frequent symbol gets the shortest code.
+        let freqs = [45u64, 13, 12, 16, 9, 5];
+        let tree = HuffmanTree::from_freqs(&freqs);
+        let lens: Vec<u8> = freqs
+            .iter()
+            .enumerate()
+            .map(|(s, _)| tree.code(s as Symbol).unwrap().len)
+            .collect();
+        assert_eq!(lens[0], 1);
+        let total: u64 = freqs
+            .iter()
+            .zip(&lens)
+            .map(|(&f, &l)| f * l as u64)
+            .sum();
+        assert_eq!(total, 224); // known optimum for this distribution
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let seq: Vec<Symbol> = (0..500u32).map(|i| (i * i + i / 3) % 17).collect();
+        let code = HuffmanCode::from_seq(&seq);
+        let bits = code.encode(&seq);
+        let (back, end) = code.decode(&bits, 0, seq.len());
+        assert_eq!(back, seq);
+        assert_eq!(end, bits.len());
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let code = HuffmanCode::from_seq(&[4, 4, 4, 4]);
+        let cw = code.code(4).unwrap();
+        assert_eq!(cw.len, 1);
+        let bits = code.encode(&[4, 4, 4]);
+        assert_eq!(bits.len(), 3);
+        let (back, _) = code.decode(&bits, 0, 3);
+        assert_eq!(back, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn zero_freq_symbols_have_no_code() {
+        let code = HuffmanCode::from_freqs(&[10, 0, 7]);
+        assert!(code.code(0).is_some());
+        assert!(code.code(1).is_none());
+        assert!(code.code(2).is_some());
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let freqs = [3u64, 3, 3, 3, 3, 3];
+        let a = HuffmanTree::from_freqs(&freqs);
+        let b = HuffmanTree::from_freqs(&freqs);
+        for s in 0..freqs.len() as u32 {
+            assert_eq!(a.code(s), b.code(s));
+        }
+    }
+
+    #[test]
+    fn expected_length_close_to_entropy() {
+        // Geometric-ish distribution: avg code length within 1 bit of H0.
+        let freqs = [512u64, 256, 128, 64, 32, 16, 8, 4, 2, 2];
+        let n: u64 = freqs.iter().sum();
+        let code = HuffmanCode::from_freqs(&freqs);
+        let avg = code.encoded_bits(&freqs) as f64 / n as f64;
+        let h0: f64 = freqs
+            .iter()
+            .map(|&f| {
+                let p = f as f64 / n as f64;
+                -p * p.log2()
+            })
+            .sum();
+        assert!(avg >= h0 - 1e-9 && avg <= h0 + 1.0, "avg={avg} H0={h0}");
+    }
+}

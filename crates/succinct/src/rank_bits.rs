@@ -1,0 +1,297 @@
+//! Plain (uncompressed) bit vector with constant-time rank and
+//! logarithmic-time select.
+//!
+//! This is the "uncompressed bitmap" backend (Jacobson-style directory,
+//! paper reference \[11\]) used by the UFMI baseline. The directory uses
+//! 512-bit blocks (`u32` counters relative to a superblock) under 65536-bit
+//! superblocks (`u64` absolute counters), ≈ 6.4% space overhead.
+
+use crate::bits::BitBuf;
+use crate::traits::{BitRank, BitVecBuild, SpaceUsage};
+
+/// Words per block: 8 × 64 = 512 bits.
+const BLOCK_WORDS: usize = 8;
+const BLOCK_BITS: usize = BLOCK_WORDS * 64;
+/// Blocks per superblock: 128 × 512 = 65536 bits.
+const SUPER_BLOCKS: usize = 128;
+const SUPER_BITS: usize = SUPER_BLOCKS * BLOCK_BITS;
+
+/// Uncompressed bit vector with O(1) `rank` and O(log n) `select`.
+#[derive(Clone, Debug)]
+pub struct RankBitVec {
+    bits: BitBuf,
+    /// Cumulative ones before each superblock (absolute).
+    super_ranks: Vec<u64>,
+    /// Cumulative ones before each block, relative to its superblock.
+    block_ranks: Vec<u32>,
+    ones: usize,
+}
+
+impl RankBitVec {
+    /// Build the rank directory over `bits`.
+    pub fn new(mut bits: BitBuf) -> Self {
+        bits.shrink_to_fit();
+        let n_blocks = bits.words().len().div_ceil(BLOCK_WORDS);
+        let mut super_ranks = Vec::with_capacity(n_blocks / SUPER_BLOCKS + 1);
+        let mut block_ranks = Vec::with_capacity(n_blocks);
+        let mut total: u64 = 0;
+        for blk in 0..n_blocks {
+            if blk % SUPER_BLOCKS == 0 {
+                super_ranks.push(total);
+            }
+            block_ranks.push((total - super_ranks[blk / SUPER_BLOCKS]) as u32);
+            let start = blk * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(bits.words().len());
+            for &w in &bits.words()[start..end] {
+                total += w.count_ones() as u64;
+            }
+        }
+        if super_ranks.is_empty() {
+            super_ranks.push(0);
+        }
+        Self {
+            bits,
+            super_ranks,
+            block_ranks,
+            ones: total as usize,
+        }
+    }
+
+    /// Position of the `k`-th (0-based) set bit, or `None` if `k >= ones`.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        let k64 = k as u64;
+        // Superblock: last one whose cumulative count is <= k.
+        let sb = self.super_ranks.partition_point(|&r| r <= k64) - 1;
+        let rel = (k64 - self.super_ranks[sb]) as u32;
+        // Block within the superblock.
+        let blk_lo = sb * SUPER_BLOCKS;
+        let blk_hi = (blk_lo + SUPER_BLOCKS).min(self.block_ranks.len());
+        let within = self.block_ranks[blk_lo..blk_hi].partition_point(|&r| r <= rel) - 1;
+        let blk = blk_lo + within;
+        let mut rem = (rel - self.block_ranks[blk]) as usize;
+        let words = self.bits.words();
+        let start = blk * BLOCK_WORDS;
+        let end = (start + BLOCK_WORDS).min(words.len());
+        for (wi, &w) in words.iter().enumerate().take(end).skip(start) {
+            let c = w.count_ones() as usize;
+            if rem < c {
+                return Some(wi * 64 + select_in_word(w, rem as u32) as usize);
+            }
+            rem -= c;
+        }
+        None
+    }
+
+    /// Position of the `k`-th (0-based) zero bit, or `None`.
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        let zeros = self.len() - self.ones;
+        if k >= zeros {
+            return None;
+        }
+        // Binary search over rank0 (select0 is off the hot path).
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.rank0(mid + 1) <= k {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Borrow the raw bits.
+    pub fn bits(&self) -> &BitBuf {
+        &self.bits
+    }
+}
+
+/// Position (0-based) of the `k`-th set bit within a word; `k` < popcount(w).
+#[inline]
+fn select_in_word(mut w: u64, mut k: u32) -> u32 {
+    let mut base = 0u32;
+    loop {
+        let c = (w & 0xFF).count_ones();
+        if k < c {
+            let mut byte = w & 0xFF;
+            loop {
+                let tz = byte.trailing_zeros();
+                if k == 0 {
+                    return base + tz;
+                }
+                byte &= byte - 1;
+                k -= 1;
+            }
+        }
+        k -= c;
+        w >>= 8;
+        base += 8;
+    }
+}
+
+impl BitRank for RankBitVec {
+    fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len());
+        if i == self.len() {
+            return self.ones;
+        }
+        let mut r = self.super_ranks[i / SUPER_BITS] + self.block_ranks[i / BLOCK_BITS] as u64;
+        let word = i / 64;
+        let words = self.bits.words();
+        for &w in &words[(i / BLOCK_BITS) * BLOCK_WORDS..word] {
+            r += w.count_ones() as u64;
+        }
+        let off = i % 64;
+        if off != 0 {
+            r += (words[word] & ((1u64 << off) - 1)).count_ones() as u64;
+        }
+        r as usize
+    }
+
+    fn count_ones(&self) -> usize {
+        self.ones
+    }
+}
+
+impl SpaceUsage for RankBitVec {
+    fn size_in_bytes(&self) -> usize {
+        self.bits.size_in_bytes() + self.super_ranks.capacity() * 8 + self.block_ranks.capacity() * 4
+    }
+}
+
+impl BitVecBuild for RankBitVec {
+    type Params = ();
+
+    fn default_params() -> Self::Params {}
+
+    fn build(bits: &BitBuf, _params: Self::Params) -> Self {
+        Self::new(bits.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_bits(n: usize, density_mod: u64) -> BitBuf {
+        let mut b = BitBuf::new();
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b.push(x % 100 < density_mod);
+        }
+        b
+    }
+
+    fn check_against_naive(bits: &BitBuf) {
+        let rb = RankBitVec::new(bits.clone());
+        let mut ones = 0usize;
+        for i in 0..=bits.len() {
+            assert_eq!(rb.rank1(i), ones, "rank1({i})");
+            assert_eq!(rb.rank0(i), i - ones, "rank0({i})");
+            if i < bits.len() {
+                assert_eq!(rb.get(i), bits.get(i));
+                if bits.get(i) {
+                    assert_eq!(rb.select1(ones), Some(i), "select1({ones})");
+                    ones += 1;
+                } else {
+                    assert_eq!(rb.select0(i - ones), Some(i), "select0");
+                }
+            }
+        }
+        assert_eq!(rb.count_ones(), ones);
+        assert_eq!(rb.select1(ones), None);
+    }
+
+    #[test]
+    fn rank_select_dense() {
+        check_against_naive(&pseudo_bits(1500, 70));
+    }
+
+    #[test]
+    fn rank_select_sparse() {
+        check_against_naive(&pseudo_bits(1500, 3));
+    }
+
+    #[test]
+    fn rank_select_all_ones_and_zeros() {
+        check_against_naive(&BitBuf::from_bools(std::iter::repeat_n(true, 700)));
+        check_against_naive(&BitBuf::from_bools(std::iter::repeat_n(false, 700)));
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        for n in [1usize, 63, 64, 65, 511, 512, 513, 4096] {
+            check_against_naive(&pseudo_bits(n, 50));
+        }
+    }
+
+    #[test]
+    fn crosses_superblock_boundary() {
+        // > 65536 bits so at least two superblocks exist; spot-check ranks.
+        let bits = pseudo_bits(70_000, 40);
+        let rb = RankBitVec::new(bits.clone());
+        let mut ones = 0usize;
+        for i in 0..bits.len() {
+            if i % 997 == 0 {
+                assert_eq!(rb.rank1(i), ones, "rank1({i})");
+            }
+            ones += bits.get(i) as usize;
+        }
+        assert_eq!(rb.rank1(bits.len()), ones);
+        // select across the boundary
+        let mut seen = 0usize;
+        for i in 0..bits.len() {
+            if bits.get(i) {
+                if seen.is_multiple_of(1009) {
+                    assert_eq!(rb.select1(seen), Some(i));
+                }
+                seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let rb = RankBitVec::new(BitBuf::new());
+        assert_eq!(rb.len(), 0);
+        assert_eq!(rb.rank1(0), 0);
+        assert_eq!(rb.select1(0), None);
+        assert_eq!(rb.select0(0), None);
+    }
+
+    #[test]
+    fn overhead_is_modest() {
+        let bits = pseudo_bits(1_000_000, 50);
+        let rb = RankBitVec::new(bits);
+        let per_bit = rb.size_in_bits() as f64 / 1_000_000.0;
+        assert!(per_bit < 1.09, "directory overhead too large: {per_bit:.4}");
+    }
+
+    #[test]
+    fn select_in_word_exhaustive_small() {
+        for w in [0b1u64, 0b1010, 0xFFFF_0000_FFFF_0000, u64::MAX, 1 << 63] {
+            let mut idx = 0;
+            for pos in 0..64 {
+                if (w >> pos) & 1 == 1 {
+                    assert_eq!(select_in_word(w, idx), pos);
+                    idx += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! RRR compressed bit vector (Raman–Raman–Rao, practical variant).
+//!
+//! This is the "practical RRR" of Navarro & Providel (SEA'12, paper
+//! reference \[19\]) that CiNCT uses inside its Huffman-shaped wavelet tree:
+//! the bit vector is cut into blocks of `b` bits; each block is represented
+//! by its *class* `c` (popcount, fixed width `ceil(log2(b+1))` bits) and an
+//! *offset* (index of the block among all `C(b, c)` blocks of that class,
+//! variable width `ceil(log2(C(b, c)))` bits). A sampled directory stores
+//! cumulative ranks and offset-stream positions every `SAMPLE_RATE` blocks.
+//!
+//! The supported block sizes are `1 ..= 63` — the paper evaluates
+//! `b ∈ {15, 31, 63}` (Fig. 10) and defaults to `b = 63`. Space per bit is
+//! `H0(B) + h(b)` with `h(b) = log2(b+1) / b` overhead (paper Eq. (11)),
+//! and in-block rank costs `O(b)` time (Theorem 5 footnote).
+
+use crate::bits::BitBuf;
+use crate::traits::{BitRank, BitVecBuild, SpaceUsage};
+
+/// Directory sampling rate, in blocks. Space/time knob internal to the
+/// structure; the paper only exposes `b`.
+const SAMPLE_RATE: usize = 32;
+
+/// Binomial coefficient table `C(n, k)` for `n, k <= 64`.
+///
+/// `C(63, 31) < 2^63`, so every entry used by block sizes `<= 63` fits in a
+/// `u64` without overflow.
+#[derive(Debug)]
+struct BinomialTable {
+    /// `binom[n][k]`, saturating (never actually saturates for n <= 63).
+    table: Vec<[u64; 65]>,
+}
+
+impl BinomialTable {
+    fn new() -> Self {
+        let mut table = vec![[0u64; 65]; 65];
+        for n in 0..=64usize {
+            table[n][0] = 1;
+            for k in 1..=n {
+                let a = table[n - 1][k - 1];
+                let b = if k < n { table[n - 1][k] } else { 0 };
+                table[n][k] = a.saturating_add(b);
+            }
+        }
+        Self { table }
+    }
+
+    #[inline]
+    fn get(&self, n: usize, k: usize) -> u64 {
+        if k > n {
+            0
+        } else {
+            self.table[n][k]
+        }
+    }
+}
+
+thread_local! {
+    static BINOM: BinomialTable = BinomialTable::new();
+}
+
+/// Offset width in bits for class `c` of block size `b`.
+#[inline]
+fn offset_width(b: usize, c: usize, binom: &BinomialTable) -> usize {
+    let count = binom.get(b, c);
+    if count <= 1 {
+        0
+    } else {
+        64 - (count - 1).leading_zeros() as usize
+    }
+}
+
+/// Encode a block of `b` bits (LSB-first in `block`) with class `c` into its
+/// enumerative offset.
+#[inline]
+fn encode_block(block: u64, b: usize, mut c: usize, binom: &BinomialTable) -> u64 {
+    let mut offset = 0u64;
+    for pos in 0..b {
+        if c == 0 {
+            break;
+        }
+        if (block >> pos) & 1 == 1 {
+            // Skip all combinations whose bit at `pos` is 0: C(b-1-pos, c).
+            offset += binom.get(b - 1 - pos, c);
+            c -= 1;
+        }
+    }
+    offset
+}
+
+/// Count ones among the first `p` bits of the block encoded by
+/// `(c, offset)`. `p <= b`. Runs in `O(p)` — the `O(b)` in-block rank of the
+/// paper's practical RRR.
+#[inline]
+fn decode_prefix_rank(mut offset: u64, b: usize, mut c: usize, p: usize, binom: &BinomialTable) -> usize {
+    let mut ones = 0usize;
+    for pos in 0..p {
+        if c == 0 {
+            break;
+        }
+        let skip = binom.get(b - 1 - pos, c);
+        if offset >= skip {
+            offset -= skip;
+            c -= 1;
+            ones += 1;
+        }
+    }
+    ones
+}
+
+/// Decode the single bit at position `p` within the block.
+#[inline]
+fn decode_bit(offset: u64, b: usize, c: usize, p: usize, binom: &BinomialTable) -> bool {
+    decode_prefix_rank(offset, b, c, p + 1, binom) > decode_prefix_rank(offset, b, c, p, binom)
+}
+
+/// RRR compressed bit vector with runtime block size `b ∈ 1..=63`.
+#[derive(Clone, Debug)]
+pub struct RrrBitVec {
+    /// Block size in bits.
+    b: usize,
+    /// Bits needed to store a class value: ceil(log2(b+1)).
+    class_width: usize,
+    /// Total bits represented.
+    len: usize,
+    /// Packed classes, `class_width` bits each.
+    classes: BitBuf,
+    /// Concatenated variable-width offsets.
+    offsets: BitBuf,
+    /// Every SAMPLE_RATE blocks: cumulative ones before the block.
+    sample_ranks: Vec<u64>,
+    /// Every SAMPLE_RATE blocks: bit position in `offsets` of the block.
+    sample_ptrs: Vec<u64>,
+    ones: usize,
+}
+
+impl RrrBitVec {
+    /// Compress `bits` with block size `b` (clamped to `1..=63`).
+    pub fn new(bits: &BitBuf, b: usize) -> Self {
+        let b = b.clamp(1, 63);
+        BINOM.with(|binom| Self::build_with(bits, b, binom))
+    }
+
+    fn build_with(bits: &BitBuf, b: usize, binom: &BinomialTable) -> Self {
+        let len = bits.len();
+        let n_blocks = len.div_ceil(b);
+        let class_width = (64 - (b as u64).leading_zeros() as usize).max(1);
+        let mut classes = BitBuf::with_capacity(n_blocks * class_width);
+        let mut offsets = BitBuf::new();
+        let mut sample_ranks = Vec::with_capacity(n_blocks / SAMPLE_RATE + 1);
+        let mut sample_ptrs = Vec::with_capacity(n_blocks / SAMPLE_RATE + 1);
+        let mut ones = 0u64;
+        for blk in 0..n_blocks {
+            if blk % SAMPLE_RATE == 0 {
+                sample_ranks.push(ones);
+                sample_ptrs.push(offsets.len() as u64);
+            }
+            let start = blk * b;
+            let width = b.min(len - start);
+            // Bits beyond `len` in the last block are implicit zeros.
+            let word = bits.get_bits(start, width);
+            let c = word.count_ones() as usize;
+            classes.push_bits(c as u64, class_width);
+            let ow = offset_width(b, c, binom);
+            let off = encode_block(word, b, c, binom);
+            offsets.push_bits(off, ow);
+            ones += c as u64;
+        }
+        classes.shrink_to_fit();
+        offsets.shrink_to_fit();
+        Self {
+            b,
+            class_width,
+            len,
+            classes,
+            offsets,
+            sample_ranks,
+            sample_ptrs,
+            ones: ones as usize,
+        }
+    }
+
+    /// The block size `b` this vector was built with.
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Decompose into raw fields (persistence support): `(b, len, classes,
+    /// offsets, sample_ranks, sample_ptrs, ones)`.
+    pub fn raw_parts(&self) -> (usize, usize, &BitBuf, &BitBuf, &[u64], &[u64], usize) {
+        (
+            self.b,
+            self.len,
+            &self.classes,
+            &self.offsets,
+            &self.sample_ranks,
+            &self.sample_ptrs,
+            self.ones,
+        )
+    }
+
+    /// Reassemble from raw fields; `None` on obviously inconsistent shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        b: usize,
+        len: usize,
+        classes: BitBuf,
+        offsets: BitBuf,
+        sample_ranks: Vec<u64>,
+        sample_ptrs: Vec<u64>,
+        ones: usize,
+    ) -> Option<Self> {
+        if !(1..=63).contains(&b) || ones > len {
+            return None;
+        }
+        let class_width = (64 - (b as u64).leading_zeros() as usize).max(1);
+        let n_blocks = len.div_ceil(b);
+        if classes.len() != n_blocks * class_width {
+            return None;
+        }
+        if sample_ranks.len() != sample_ptrs.len() {
+            return None;
+        }
+        Some(Self {
+            b,
+            class_width,
+            len,
+            classes,
+            offsets,
+            sample_ranks,
+            sample_ptrs,
+            ones,
+        })
+    }
+
+    #[inline]
+    fn class_of(&self, blk: usize) -> usize {
+        self.classes.get_bits(blk * self.class_width, self.class_width) as usize
+    }
+
+    /// Walk blocks from the preceding sample to block `target_blk`, returning
+    /// `(ones_before_block, offset_ptr_of_block, class_of_block)`.
+    #[inline]
+    fn seek(&self, target_blk: usize, binom: &BinomialTable) -> (u64, u64, usize) {
+        let sample = target_blk / SAMPLE_RATE;
+        let mut ones = self.sample_ranks[sample];
+        let mut ptr = self.sample_ptrs[sample];
+        for blk in (sample * SAMPLE_RATE)..target_blk {
+            let c = self.class_of(blk);
+            ones += c as u64;
+            ptr += offset_width(self.b, c, binom) as u64;
+        }
+        (ones, ptr, self.class_of(target_blk))
+    }
+}
+
+impl BitRank for RrrBitVec {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        BINOM.with(|binom| {
+            let blk = i / self.b;
+            let (_, ptr, c) = self.seek(blk, binom);
+            let ow = offset_width(self.b, c, binom);
+            let off = self.offsets.get_bits(ptr as usize, ow);
+            decode_bit(off, self.b, c, i % self.b, binom)
+        })
+    }
+
+    #[inline]
+    fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        if i == 0 {
+            return 0;
+        }
+        if i == self.len {
+            return self.ones;
+        }
+        BINOM.with(|binom| {
+            let blk = i / self.b;
+            let (ones, ptr, c) = self.seek(blk, binom);
+            let p = i % self.b;
+            if p == 0 {
+                return ones as usize;
+            }
+            let ow = offset_width(self.b, c, binom);
+            let off = self.offsets.get_bits(ptr as usize, ow);
+            ones as usize + decode_prefix_rank(off, self.b, c, p, binom)
+        })
+    }
+
+    fn count_ones(&self) -> usize {
+        self.ones
+    }
+}
+
+impl SpaceUsage for RrrBitVec {
+    fn size_in_bytes(&self) -> usize {
+        self.classes.size_in_bytes()
+            + self.offsets.size_in_bytes()
+            + self.sample_ranks.capacity() * 8
+            + self.sample_ptrs.capacity() * 8
+            + std::mem::size_of::<usize>() * 4
+    }
+}
+
+impl BitVecBuild for RrrBitVec {
+    /// The RRR block size `b` (the paper's only CiNCT parameter, §III-C).
+    type Params = usize;
+
+    fn default_params() -> Self::Params {
+        63
+    }
+
+    fn build(bits: &BitBuf, params: Self::Params) -> Self {
+        Self::new(bits, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_bits(n: usize, density_pct: u64, seed: u64) -> BitBuf {
+        let mut b = BitBuf::new();
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b.push((x >> 33) % 100 < density_pct);
+        }
+        b
+    }
+
+    fn check(bits: &BitBuf, b: usize) {
+        let rrr = RrrBitVec::new(bits, b);
+        assert_eq!(rrr.len(), bits.len());
+        let mut ones = 0usize;
+        for i in 0..=bits.len() {
+            assert_eq!(rrr.rank1(i), ones, "rank1({i}) b={b}");
+            if i < bits.len() {
+                assert_eq!(rrr.get(i), bits.get(i), "get({i}) b={b}");
+                ones += bits.get(i) as usize;
+            }
+        }
+        assert_eq!(rrr.count_ones(), ones);
+    }
+
+    #[test]
+    fn rank_access_paper_block_sizes() {
+        for &b in &[15usize, 31, 63] {
+            check(&pseudo_bits(2000, 50, 7), b);
+            check(&pseudo_bits(2000, 5, 11), b);
+            check(&pseudo_bits(2000, 95, 13), b);
+        }
+    }
+
+    #[test]
+    fn odd_block_sizes_and_lengths() {
+        for &b in &[1usize, 2, 3, 7, 40, 63] {
+            for &n in &[0usize, 1, 62, 63, 64, 65, 1000, 1024] {
+                check(&pseudo_bits(n, 30, b as u64 * 1000 + n as u64 + 1), b);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_and_all_one() {
+        for &b in &[15usize, 63] {
+            check(&BitBuf::from_bools(std::iter::repeat_n(false, 500)), b);
+            check(&BitBuf::from_bools(std::iter::repeat_n(true, 500)), b);
+        }
+    }
+
+    #[test]
+    fn compresses_biased_bits() {
+        // 2% density: RRR must be far below 1 bit/bit.
+        let bits = pseudo_bits(200_000, 2, 5);
+        let rrr = RrrBitVec::new(&bits, 63);
+        let bits_per_bit = rrr.size_in_bits() as f64 / bits.len() as f64;
+        assert!(bits_per_bit < 0.35, "RRR used {bits_per_bit:.3} bits/bit");
+    }
+
+    #[test]
+    fn overhead_grows_as_block_shrinks() {
+        // h(b) = lg(b+1)/b decreases with b, so b=63 must be smaller than b=15
+        // on compressible data.
+        let bits = pseudo_bits(100_000, 10, 3);
+        let small_b = RrrBitVec::new(&bits, 15).size_in_bytes();
+        let large_b = RrrBitVec::new(&bits, 63).size_in_bytes();
+        assert!(large_b < small_b, "b=63 {large_b} >= b=15 {small_b}");
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        let t = BinomialTable::new();
+        assert_eq!(t.get(0, 0), 1);
+        assert_eq!(t.get(63, 0), 1);
+        assert_eq!(t.get(63, 63), 1);
+        assert_eq!(t.get(5, 2), 10);
+        assert_eq!(t.get(63, 31), 916312070471295267);
+        assert_eq!(t.get(2, 3), 0);
+    }
+
+    #[test]
+    fn encode_decode_block_exhaustive_small() {
+        let binom = BinomialTable::new();
+        let b = 10;
+        for word in 0u64..(1 << b) {
+            let c = word.count_ones() as usize;
+            let off = encode_block(word, b, c, &binom);
+            assert!(off < binom.get(b, c));
+            for p in 0..=b {
+                let expect = (word & ((1u64 << p) - 1)).count_ones() as usize;
+                assert_eq!(decode_prefix_rank(off, b, c, p, &binom), expect);
+            }
+            for p in 0..b {
+                assert_eq!(decode_bit(off, b, c, p, &binom), (word >> p) & 1 == 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Compression tour: run every spatial-path compressor in the workspace
+//! over one corpus and compare ratios and capabilities — a miniature,
+//! self-contained version of the paper's Table IV.
+//!
+//! Run: `cargo run --release --example compression_tour`
+
+use cinct::CinctIndex;
+use cinct_compressors::{bwz, lz, mel::Mel, repair, sp};
+use cinct_fmindex::PatternIndex;
+
+fn main() {
+    let ds = cinct_datasets::roma(0.15);
+    let n: usize = ds.trajectories.iter().map(|t| t.len() + 1).sum();
+    println!(
+        "Corpus: Roma-like, {} trajectories, {} symbols (raw: {} KiB as 32-bit ints)\n",
+        ds.trajectories.len(),
+        n,
+        n * 4 / 1024
+    );
+
+    // Flat integer stream for the generic compressors.
+    let sep = ds.n_edges() as u32;
+    let mut stream = Vec::with_capacity(n);
+    for t in &ds.trajectories {
+        stream.extend_from_slice(t);
+        stream.push(sep);
+    }
+
+    println!("{:<22} {:>8} {:>10} {:>18}", "Method", "ratio", "KiB", "supports queries?");
+    println!("{}", "-".repeat(62));
+
+    // CiNCT: compression AND sublinear pattern matching.
+    let idx = CinctIndex::build(&ds.trajectories, ds.n_edges());
+    let cinct_bits = idx.size_in_bytes() as u64 * 8;
+    print_row("CiNCT (this paper)", n, cinct_bits, "yes (suffix range)");
+
+    // MEL + Huffman.
+    let mel = Mel::build(&ds.network, &ds.trajectories);
+    let mel_size = mel.compressed_size(&ds.network, &ds.trajectories);
+    print_row("MEL + Huffman", n, mel_size.total_bits(), "no");
+
+    // Re-Pair.
+    let g = repair::compress(&stream, ds.n_edges() + 1);
+    assert_eq!(repair::decompress(&g), stream, "Re-Pair roundtrip");
+    print_row("Re-Pair", n, g.compressed_size().total_bits(), "no");
+
+    // bzip2-like, at byte granularity like the real tool.
+    let bytes = cinct_compressors::as_byte_stream(&stream);
+    let bz = bwz::compress(&bytes);
+    assert_eq!(bwz::decompress(&bz), bytes, "bwz roundtrip");
+    print_row("bzip2-like (BWT+MTF)", n, bz.compressed_size().total_bits(), "no");
+
+    // PRESS-like shortest-path coding.
+    let sp_size = sp::compressed_size(&ds.network, &ds.trajectories);
+    print_row("PRESS-like (SP code)", n, sp_size.total_bits(), "no");
+
+    // zip-like LZ77, at byte granularity.
+    let lz_size = lz::compressed_size(&bytes);
+    print_row("zip-like (LZ77)", n, lz_size.total_bits(), "no");
+
+    // And the punchline: the compressed index still answers queries.
+    let path = &ds.trajectories[0][..3];
+    println!(
+        "\nCiNCT can still count path {:?} without decompressing: {} travelers",
+        path,
+        idx.count_path(path)
+    );
+}
+
+fn print_row(name: &str, n_symbols: usize, bits: u64, queries: &str) {
+    let ratio = 32.0 * n_symbols as f64 / bits as f64;
+    println!(
+        "{:<22} {:>8.1} {:>10.1} {:>18}",
+        name,
+        ratio,
+        bits as f64 / 8.0 / 1024.0,
+        queries
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a CiNCT index over a handful of trajectories and run
+//! the two core queries — path counting (suffix range) and sub-path
+//! extraction.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use cinct::CinctIndex;
+use cinct_fmindex::PatternIndex;
+
+fn main() {
+    // The paper's running example (Fig. 1): a toy network with six road
+    // segments A..F, here numbered 0..6, and four vehicle trajectories.
+    let trajectories = vec![
+        vec![0, 1, 4, 5], // A → B → E → F
+        vec![0, 1, 2],    // A → B → C
+        vec![1, 2],       // B → C
+        vec![0, 3],       // A → D
+    ];
+    let n_road_segments = 6;
+
+    let index = CinctIndex::build(&trajectories, n_road_segments);
+
+    println!("Indexed {} trajectories over {} road segments",
+        index.num_trajectories(), index.network_edges());
+    println!("Index size: {} bytes ({:.2} bits/symbol)\n",
+        index.size_in_bytes(), index.bits_per_symbol());
+
+    // Pattern matching: which trajectories travel the path A → B?
+    let path = vec![0, 1];
+    let range = index.path_range(&path).expect("path occurs");
+    println!("Path A->B: suffix range {range:?}, {} travelers", range.len());
+    assert_eq!(range, 9..11); // matches the paper's Fig. 2 worked example
+
+    // Counting other paths.
+    for (label, path) in [
+        ("B->C", vec![1, 2]),
+        ("A->B->E->F", vec![0, 1, 4, 5]),
+        ("D->A (never driven)", vec![3, 0]),
+    ] {
+        println!("Path {label}: {} travelers", index.count_path(&path));
+    }
+
+    // Decompression: recover stored trajectories from the index alone.
+    println!();
+    for id in 0..index.num_trajectories() {
+        println!("trajectory {id}: {:?}", index.trajectory(id));
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests across the compressor suite: round trips on real-ish
+//! corpora, Theorem 6 (RML ≤ MEL entropy) at dataset scale, and the
+//! Table IV ordering sanity (CiNCT is competitive with the best pure
+//! compressors on sparse data while also supporting queries).
+
+use cinct::{CinctIndex, LabelingStrategy, Rml};
+use cinct_bwt::{bwt, entropy_h0, CArray, TrajectoryString};
+use cinct_compressors::{bwz, lz, mel::Mel, repair, sp};
+use cinct_fmindex::PatternIndex;
+
+fn flat_stream(ds: &cinct_datasets::Dataset) -> Vec<u32> {
+    let sep = ds.n_edges() as u32;
+    let mut out = Vec::new();
+    for t in &ds.trajectories {
+        out.extend_from_slice(t);
+        out.push(sep);
+    }
+    out
+}
+
+#[test]
+fn repair_roundtrips_on_datasets() {
+    for ds in [cinct_datasets::roma(0.02), cinct_datasets::chess(0.005)] {
+        let stream = flat_stream(&ds);
+        let g = repair::compress(&stream, ds.n_edges() + 1);
+        assert_eq!(repair::decompress(&g), stream, "{}", ds.name);
+        assert!(g.compressed_size().ratio(stream.len()) > 1.0);
+    }
+}
+
+#[test]
+fn bwz_roundtrips_on_datasets() {
+    let ds = cinct_datasets::singapore2(0.02);
+    let stream = flat_stream(&ds);
+    let c = bwz::compress_with_block(&stream, 16_384);
+    assert_eq!(bwz::decompress(&c), stream);
+}
+
+#[test]
+fn lz_roundtrips_on_datasets() {
+    let ds = cinct_datasets::mo_gen(0.02);
+    let stream = flat_stream(&ds);
+    let tokens = lz::tokenize(&stream);
+    assert_eq!(lz::detokenize(&tokens), stream);
+}
+
+#[test]
+fn mel_roundtrips_and_loses_to_rml() {
+    // Theorem 6 at dataset scale, on both gap-free datasets.
+    for ds in [cinct_datasets::singapore2(0.03), cinct_datasets::roma(0.03)] {
+        let mel = Mel::build(&ds.network, &ds.trajectories);
+        let stream = mel.label_stream(&ds.trajectories);
+        let firsts: Vec<u32> = ds.trajectories.iter().map(|t| t[0]).collect();
+        assert_eq!(
+            mel.decode_stream(&ds.network, &stream, &firsts),
+            ds.trajectories,
+            "{}: MEL roundtrip",
+            ds.name
+        );
+
+        let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+        let (_, tbwt) = bwt(ts.text(), ts.sigma());
+        let c = CArray::new(ts.text(), ts.sigma());
+        let rml = Rml::from_text(ts.text(), ts.sigma(), LabelingStrategy::BigramSorted);
+        let h_rml = entropy_h0(&rml.label_bwt(&tbwt, &c));
+        let h_mel = mel.label_entropy(&ds.trajectories);
+        assert!(
+            h_rml <= h_mel + 0.05,
+            "{}: RML {h_rml:.3} vs MEL {h_mel:.3}",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn sp_codes_roundtrip_on_trips() {
+    let ds = cinct_datasets::mo_gen(0.02);
+    for t in ds.trajectories.iter().take(40) {
+        if t.is_empty() {
+            continue;
+        }
+        let code = sp::encode(&ds.network, t);
+        assert_eq!(sp::decode(&ds.network, &code), *t);
+    }
+}
+
+#[test]
+fn cinct_beats_generic_compressors_on_sparse_data() {
+    // Table IV's headline: CiNCT's ratio exceeds bzip2-like and zip-like,
+    // despite also being a query structure. This needs a realistic
+    // symbols-per-edge ratio (the paper's datasets have |T|/sigma >~ 250;
+    // at tiny ratios the sigma-proportional tables dominate any index).
+    // A paper-like alphabet: >1500 edges, so edge IDs span multiple bytes
+    // and byte-granularity compressors lose the symbol alignment that a
+    // toy alphabet would hand them.
+    let net = cinct_network::generators::grid_city(20, 20, 3);
+    let trajs = cinct_network::WalkConfig {
+        straight_bias: 8.0,
+        min_len: 30,
+        max_len: 80,
+    }
+    .generate(&net, 5_500, 7);
+    let n: usize = trajs.iter().map(|t| t.len() + 1).sum();
+    assert!(n / net.num_edges() > 190, "workload too small for the test");
+    let sep = net.num_edges() as u32;
+    let mut stream = Vec::with_capacity(n);
+    for t in &trajs {
+        stream.extend_from_slice(t);
+        stream.push(sep);
+    }
+
+    let idx = CinctIndex::build(&trajs, net.num_edges());
+    let cinct_ratio = 32.0 * n as f64 / (idx.size_in_bytes() as f64 * 8.0);
+    // Byte-granularity baseline, matching the paper's use of zip on the raw
+    // 32-bit binary file. (The bzip2-like comparison needs the paper's
+    // n/sigma >~ 1000 regime to flip in CiNCT's favour; it is exercised by
+    // the release-mode `table4` harness and recorded in EXPERIMENTS.md.)
+    let bytes = cinct_compressors::as_byte_stream(&stream);
+    let lz_ratio = lz::compressed_size(&bytes).ratio(n);
+    let repair_ratio = repair::compress(&stream, net.num_edges() + 1)
+        .compressed_size()
+        .ratio(n);
+
+    assert!(
+        cinct_ratio > lz_ratio,
+        "CiNCT {cinct_ratio:.1} should beat zip-like {lz_ratio:.1}"
+    );
+    assert!(
+        cinct_ratio > repair_ratio * 0.8,
+        "CiNCT {cinct_ratio:.1} should be competitive with Re-Pair {repair_ratio:.1}"
+    );
+    assert!(cinct_ratio > 4.0, "CiNCT ratio {cinct_ratio:.1} too low");
+}

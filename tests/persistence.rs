@@ -1,0 +1,81 @@
+//! Whole-index persistence: save a built CiNCT index to bytes (or disk),
+//! reload it, and verify every query path behaves identically.
+
+use cinct::{CinctBuilder, CinctIndex};
+use cinct_fmindex::PatternIndex;
+
+fn roundtrip(idx: &CinctIndex) -> CinctIndex {
+    let mut buf = Vec::new();
+    idx.write_to(&mut buf).expect("serialize");
+    let mut cur = std::io::Cursor::new(&buf);
+    let back = CinctIndex::read_from(&mut cur).expect("deserialize");
+    assert_eq!(cur.position() as usize, buf.len(), "trailing bytes");
+    back
+}
+
+#[test]
+fn paper_example_roundtrip() {
+    let trajs = vec![vec![0u32, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+    let idx = CinctIndex::build(&trajs, 6);
+    let back = roundtrip(&idx);
+    assert_eq!(back.len(), idx.len());
+    assert_eq!(back.num_trajectories(), 4);
+    for a in 0..6u32 {
+        for b in 0..6u32 {
+            assert_eq!(back.path_range(&[a, b]), idx.path_range(&[a, b]));
+        }
+    }
+    for id in 0..4 {
+        assert_eq!(back.trajectory(id), idx.trajectory(id));
+    }
+    assert_eq!(back.core_size_in_bytes(), idx.core_size_in_bytes());
+}
+
+#[test]
+fn dataset_roundtrip_with_locate() {
+    let ds = cinct_datasets::roma(0.02);
+    let idx = CinctBuilder::new()
+        .locate_sampling(16)
+        .block_size(31)
+        .build(&ds.trajectories, ds.n_edges());
+    let back = roundtrip(&idx);
+    assert_eq!(back.locate_sampling_rate(), Some(16));
+    // Queries, extraction and locate agree after the roundtrip.
+    for t in ds.trajectories.iter().take(20) {
+        let path = &t[..4.min(t.len())];
+        assert_eq!(back.path_range(path), idx.path_range(path));
+        assert_eq!(back.locate_path(path), idx.locate_path(path));
+    }
+    for j in (0..idx.len()).step_by(997) {
+        assert_eq!(back.extract(j, 5), idx.extract(j, 5));
+        assert_eq!(back.locate(j), idx.locate(j));
+    }
+}
+
+#[test]
+fn file_roundtrip() {
+    let trajs = vec![vec![2u32, 3, 4], vec![3, 4, 5], vec![2, 3]];
+    let idx = CinctIndex::build(&trajs, 8);
+    let path = std::env::temp_dir().join("cinct_persist_test.idx");
+    {
+        let mut f = std::fs::File::create(&path).expect("create");
+        idx.write_to(&mut f).expect("write");
+    }
+    let mut f = std::fs::File::open(&path).expect("open");
+    let back = CinctIndex::read_from(&mut f).expect("read");
+    assert_eq!(back.count_path(&[3, 4]), 2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rejects_garbage() {
+    let mut cur = std::io::Cursor::new(vec![0u8; 64]);
+    assert!(CinctIndex::read_from(&mut cur).is_err());
+    // Truncated real data.
+    let trajs = vec![vec![0u32, 1], vec![1, 0]];
+    let idx = CinctIndex::build(&trajs, 2);
+    let mut buf = Vec::new();
+    idx.write_to(&mut buf).unwrap();
+    buf.truncate(buf.len() / 2);
+    assert!(CinctIndex::read_from(&mut std::io::Cursor::new(buf)).is_err());
+}

@@ -1,0 +1,165 @@
+//! End-to-end pipeline tests: every emulated dataset through the full
+//! build → query → extract cycle, with cross-index agreement against
+//! brute-force scans and the baseline FM-indexes.
+
+use cinct::{CinctBuilder, CinctIndex};
+use cinct_bench_free::sample_paths;
+use cinct_bwt::TrajectoryString;
+use cinct_fmindex::{PatternIndex, Ufmi};
+
+/// Local pattern sampler (the bench crate is not a dependency of the
+/// umbrella crate; integration tests keep their own tiny copy).
+mod cinct_bench_free {
+    pub fn sample_paths(trajs: &[Vec<u32>], len: usize, count: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        'outer: loop {
+            for t in trajs {
+                if t.len() >= len {
+                    let start = (k * 7919) % (t.len() - len + 1);
+                    out.push(t[start..start + len].to_vec());
+                    k += 1;
+                    if out.len() == count {
+                        break 'outer;
+                    }
+                }
+            }
+            if k == 0 {
+                break; // nothing long enough
+            }
+        }
+        out
+    }
+}
+
+fn brute_force_count(trajs: &[Vec<u32>], path: &[u32]) -> usize {
+    trajs
+        .iter()
+        .map(|t| t.windows(path.len()).filter(|w| *w == path).count())
+        .sum()
+}
+
+fn check_dataset(ds: &cinct_datasets::Dataset) {
+    let idx = CinctIndex::build(&ds.trajectories, ds.n_edges());
+    // Counts agree with brute force for sampled existing paths...
+    for len in [1usize, 2, 5, 9] {
+        for path in sample_paths(&ds.trajectories, len, 12) {
+            assert_eq!(
+                idx.count_path(&path),
+                brute_force_count(&ds.trajectories, &path),
+                "{}: path {path:?}",
+                ds.name
+            );
+        }
+    }
+    // ...and for absent/implausible paths.
+    let absent = vec![0u32, 0, 0, 0, 0, 0, 0];
+    assert_eq!(
+        idx.count_path(&absent),
+        brute_force_count(&ds.trajectories, &absent),
+        "{}: absent path",
+        ds.name
+    );
+}
+
+#[test]
+fn singapore_pipeline() {
+    check_dataset(&cinct_datasets::singapore(0.03));
+}
+
+#[test]
+fn singapore2_pipeline() {
+    check_dataset(&cinct_datasets::singapore2(0.03));
+}
+
+#[test]
+fn roma_pipeline() {
+    check_dataset(&cinct_datasets::roma(0.03));
+}
+
+#[test]
+fn mo_gen_pipeline() {
+    check_dataset(&cinct_datasets::mo_gen(0.03));
+}
+
+#[test]
+fn chess_pipeline() {
+    check_dataset(&cinct_datasets::chess(0.01));
+}
+
+#[test]
+fn randwalk_pipeline() {
+    check_dataset(&cinct_datasets::randwalk(2048, 4.0, 20_000, 5));
+}
+
+#[test]
+fn cinct_agrees_with_ufmi_everywhere() {
+    let ds = cinct_datasets::roma(0.03);
+    let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
+    let cinct = CinctIndex::build(&ds.trajectories, ds.n_edges());
+    let ufmi = Ufmi::from_text(ts.text(), ts.sigma());
+    for len in [2usize, 4, 8] {
+        for path in sample_paths(&ds.trajectories, len, 25) {
+            let enc = TrajectoryString::encode_pattern(&path);
+            assert_eq!(
+                cinct.suffix_range_encoded(&enc),
+                ufmi.suffix_range(&enc),
+                "path {path:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extraction_recovers_every_trajectory() {
+    let ds = cinct_datasets::mo_gen(0.02);
+    let idx = CinctIndex::build(&ds.trajectories, ds.n_edges());
+    // `TrajectoryString::build` skips empty trajectories, so compare against
+    // the filtered list.
+    let stored: Vec<&Vec<u32>> = ds.trajectories.iter().filter(|t| !t.is_empty()).collect();
+    assert_eq!(idx.num_trajectories(), stored.len());
+    for (id, t) in stored.iter().enumerate() {
+        assert_eq!(&idx.trajectory(id), *t, "trajectory {id}");
+    }
+}
+
+#[test]
+fn locate_path_matches_brute_force() {
+    let ds = cinct_datasets::roma(0.02);
+    let idx = CinctBuilder::new()
+        .locate_sampling(16)
+        .build(&ds.trajectories, ds.n_edges());
+    for path in sample_paths(&ds.trajectories, 4, 10) {
+        let mut expected = Vec::new();
+        for (tid, t) in ds.trajectories.iter().enumerate() {
+            for off in 0..t.len().saturating_sub(path.len() - 1) {
+                if t[off..off + path.len()] == path[..] {
+                    expected.push((tid, off));
+                }
+            }
+        }
+        let got = idx.locate_path(&path).expect("locate enabled");
+        assert_eq!(got, expected, "path {path:?}");
+    }
+}
+
+#[test]
+fn block_sizes_and_labelings_agree_on_real_data() {
+    let ds = cinct_datasets::chess(0.005);
+    let variants = [
+        CinctBuilder::new().block_size(15),
+        CinctBuilder::new().block_size(31),
+        CinctBuilder::new().block_size(63),
+        CinctBuilder::new().labeling(cinct::LabelingStrategy::Random { seed: 5 }),
+    ];
+    let indexes: Vec<CinctIndex> = variants
+        .iter()
+        .map(|b| b.build(&ds.trajectories, ds.n_edges()))
+        .collect();
+    for path in sample_paths(&ds.trajectories, 3, 20) {
+        let reference = indexes[0].path_range(&path);
+        for (i, idx) in indexes.iter().enumerate().skip(1) {
+            assert_eq!(idx.path_range(&path), reference, "variant {i} path {path:?}");
+        }
+    }
+}
