@@ -14,7 +14,9 @@ fn pseudo_bits(n: usize, density_pct: u64, seed: u64) -> BitBuf {
     let mut b = BitBuf::new();
     let mut x = seed | 1;
     for _ in 0..n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         b.push((x >> 33) % 100 < density_pct);
     }
     b
@@ -28,7 +30,9 @@ fn bench_bit_rank(c: &mut Criterion) {
     let mut positions: Vec<usize> = Vec::new();
     let mut x = 99u64;
     for _ in 0..1024 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         positions.push((x >> 33) as usize % n);
     }
     group.bench_function("plain", |bch| {
@@ -60,7 +64,9 @@ fn skewed_seq(n: usize, sigma: u32, seed: u64) -> Vec<u32> {
     let mut x = seed | 1;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = (x >> 33) % 100;
             match r {
                 0..=69 => 1,

@@ -39,7 +39,11 @@ fn main() {
     let rml = Rml::from_text(ts.text(), ts.sigma(), LabelingStrategy::BigramSorted);
     let labeled = rml.label_bwt(&tbwt, &c);
     let n = labeled.len();
-    println!("labeled BWT: {} symbols, max label {}", n, labeled.iter().max().unwrap());
+    println!(
+        "labeled BWT: {} symbols, max label {}",
+        n,
+        labeled.iter().max().unwrap()
+    );
 
     // Probes: rank of label 1 (the hot case) and of rarer labels.
     let probes: Vec<(u32, usize)> = (0..2048)

@@ -5,13 +5,17 @@
 //! Run: `cargo run -p cinct-bench --release --bin fig10`
 
 use cinct_bench::report::{f2, Table};
-use cinct_bench::{build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, Variant};
+use cinct_bench::{
+    build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, Variant,
+};
 use cinct_bwt::TrajectoryString;
 
 fn main() {
     let scale = scale_from_env();
     let n_queries = queries_from_env();
-    println!("== Fig. 10: size vs suffix-range time (scale={scale}, {n_queries} queries, |P|=20) ==");
+    println!(
+        "== Fig. 10: size vs suffix-range time (scale={scale}, {n_queries} queries, |P|=20) =="
+    );
     for ds in cinct_datasets::all_table_datasets(scale) {
         let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
         // Chess games are exactly 10 plies; cap |P| accordingly.
@@ -61,7 +65,7 @@ fn main() {
                 table.row(vec![
                     "CiNCT (w/o ET)".into(),
                     "63".into(),
-                    f2(w as f64 * 8.0 / built.index.len() as f64),
+                    f2(w as f64 * 8.0 / built.index.text_len() as f64),
                     "-".into(),
                     "-".into(),
                 ]);

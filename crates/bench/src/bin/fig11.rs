@@ -4,7 +4,9 @@
 //! Run: `cargo run -p cinct-bench --release --bin fig11`
 
 use cinct_bench::report::{f2, Table};
-use cinct_bench::{build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, ALL_VARIANTS};
+use cinct_bench::{
+    build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, ALL_VARIANTS,
+};
 use cinct_bwt::TrajectoryString;
 
 fn main() {

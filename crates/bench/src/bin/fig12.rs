@@ -19,10 +19,23 @@ fn main() {
     let n_queries = queries_from_env();
     println!("== Fig. 12: sigma sweep, RandWalk d=4, |T|={factor}*sigma ==\n");
     let mut size_table = Table::new(&[
-        "sigma", "CiNCT", "CiNCT-w/oET", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB",
+        "sigma",
+        "CiNCT",
+        "CiNCT-w/oET",
+        "UFMI",
+        "ICB-WM",
+        "ICB-Huff",
+        "FM-GMR",
+        "FM-AP-HYB",
     ]);
     let mut time_table = Table::new(&[
-        "sigma", "CiNCT", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB",
+        "sigma",
+        "CiNCT",
+        "UFMI",
+        "ICB-WM",
+        "ICB-Huff",
+        "FM-GMR",
+        "FM-AP-HYB",
     ]);
     for exp in 14..=18u32 {
         let sigma = 1usize << exp;
@@ -36,7 +49,7 @@ fn main() {
             let t = time_queries(built.index.as_ref(), &patterns);
             sizes.push(f2(built.bits_per_symbol()));
             if let Some(w) = built.size_without_et_graph {
-                sizes.push(f2(w as f64 * 8.0 / built.index.len() as f64));
+                sizes.push(f2(w as f64 * 8.0 / built.index.text_len() as f64));
             }
             times.push(f2(t.mean_us));
         }

@@ -18,10 +18,23 @@ fn main() {
     let n_queries = queries_from_env();
     println!("== Fig. 13: out-degree sweep, RandWalk sigma=2^16, |T|={total} ==\n");
     let mut size_table = Table::new(&[
-        "d", "CiNCT", "CiNCT-w/oET", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB",
+        "d",
+        "CiNCT",
+        "CiNCT-w/oET",
+        "UFMI",
+        "ICB-WM",
+        "ICB-Huff",
+        "FM-GMR",
+        "FM-AP-HYB",
     ]);
     let mut time_table = Table::new(&[
-        "d", "CiNCT", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB",
+        "d",
+        "CiNCT",
+        "UFMI",
+        "ICB-WM",
+        "ICB-Huff",
+        "FM-GMR",
+        "FM-AP-HYB",
     ]);
     for d_exp in 2..=6u32 {
         let d = (1u32 << d_exp) as f64;
@@ -35,7 +48,7 @@ fn main() {
             let t = time_queries(built.index.as_ref(), &patterns);
             sizes.push(f2(built.bits_per_symbol()));
             if let Some(w) = built.size_without_et_graph {
-                sizes.push(f2(w as f64 * 8.0 / built.index.len() as f64));
+                sizes.push(f2(w as f64 * 8.0 / built.index.text_len() as f64));
             }
             times.push(f2(t.mean_us));
         }

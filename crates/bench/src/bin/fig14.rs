@@ -5,7 +5,9 @@
 //! Run: `cargo run -p cinct-bench --release --bin fig14`
 
 use cinct_bench::report::{f2, Table};
-use cinct_bench::{build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, Variant};
+use cinct_bench::{
+    build_variant, queries_from_env, sample_patterns, scale_from_env, time_queries, Variant,
+};
 use cinct_bwt::TrajectoryString;
 
 fn main() {
@@ -13,7 +15,12 @@ fn main() {
     let n_queries = queries_from_env();
     println!("== Fig. 14: bigram sorting vs random labeling (scale={scale}) ==\n");
     let mut table = Table::new(&[
-        "Dataset", "b", "sorted b/sym", "rand b/sym", "sorted us", "rand us",
+        "Dataset",
+        "b",
+        "sorted b/sym",
+        "rand b/sym",
+        "sorted us",
+        "rand us",
     ]);
     for ds in cinct_datasets::all_table_datasets(scale) {
         let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());

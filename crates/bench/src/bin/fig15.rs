@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run -p cinct-bench --release --bin fig15`
 
-use cinct_bench::report::{Table};
+use cinct_bench::report::Table;
 use cinct_bench::workload::time_full_extraction;
 use cinct_bench::{build_variant, scale_from_env, ALL_VARIANTS};
 use cinct_bwt::TrajectoryString;

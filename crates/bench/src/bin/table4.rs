@@ -10,7 +10,7 @@ use cinct_bench::variants::build_cinct;
 use cinct_bwt::TrajectoryString;
 use cinct_compressors::{bwz, lz, mel::Mel, repair, sp};
 use cinct_datasets::Dataset;
-use cinct_fmindex::PatternIndex;
+use cinct_fmindex::PathQuery;
 
 /// The uncompressed representation: trajectory symbols + separators as
 /// 32-bit integers (the paper's "binary file of 32-bit integers").

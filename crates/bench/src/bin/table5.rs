@@ -14,7 +14,10 @@ fn main() {
     let scale = scale_from_env();
     println!("== Table V: RML vs MEL label entropy (scale={scale}) ==\n");
     let mut table = Table::new(&["Dataset", "RML H0", "MEL H0", "RML/MEL"]);
-    for ds in [cinct_datasets::singapore2(scale), cinct_datasets::roma(scale)] {
+    for ds in [
+        cinct_datasets::singapore2(scale),
+        cinct_datasets::roma(scale),
+    ] {
         let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
         let (_, tbwt) = bwt(ts.text(), ts.sigma());
         let c = CArray::new(ts.text(), ts.sigma());

@@ -3,7 +3,7 @@
 
 use cinct::{CinctBuilder, CinctIndex, LabelingStrategy};
 use cinct_bwt::TrajectoryString;
-use cinct_fmindex::{FmApHyb, FmGmr, IcbHuff, IcbWm, PatternIndex, Ufmi};
+use cinct_fmindex::{FmApHyb, FmGmr, IcbHuff, IcbWm, PathQuery, Ufmi};
 use cinct_succinct::{HuffmanWaveletTree, RrrBitVec, WaveletMatrix};
 use std::time::Instant;
 
@@ -66,11 +66,14 @@ pub const ALL_VARIANTS: [Variant; 6] = [
 ];
 
 /// A built index, its metadata, and (for CiNCT) the w/o-ET-graph size.
+///
+/// Every variant sits behind the same `dyn PathQuery` object: the harness
+/// has no per-variant query dispatch, only per-variant *construction*.
 pub struct BuiltIndex {
     /// Display name.
     pub name: String,
     /// The queryable index.
-    pub index: Box<dyn PatternIndex>,
+    pub index: Box<dyn PathQuery>,
     /// Construction wall-clock seconds.
     pub build_secs: f64,
     /// Size excluding the ET-graph, if the variant has one.
@@ -84,12 +87,10 @@ impl BuiltIndex {
     }
 }
 
-// CiNCT already implements PatternIndex in its own crate.
-
 /// Build the given variant over a prepared trajectory string.
 pub fn build_variant(variant: Variant, ts: &TrajectoryString, n_edges: usize) -> BuiltIndex {
     let t0 = Instant::now();
-    let (index, without_et): (Box<dyn PatternIndex>, Option<usize>) = match variant {
+    let (index, without_et): (Box<dyn PathQuery>, Option<usize>) = match variant {
         Variant::Cinct { b } => {
             let (idx, _) = CinctBuilder::new()
                 .block_size(b)
@@ -105,10 +106,7 @@ pub fn build_variant(variant: Variant, ts: &TrajectoryString, n_edges: usize) ->
             let w = idx.size_without_et_graph();
             (Box::new(idx), Some(w))
         }
-        Variant::Ufmi => (
-            Box::new(Ufmi::from_text(ts.text(), ts.sigma())),
-            None,
-        ),
+        Variant::Ufmi => (Box::new(Ufmi::from_text(ts.text(), ts.sigma())), None),
         Variant::IcbWm { b } => (
             Box::new(IcbWm::from_text_with(ts.text(), ts.sigma(), |bwt| {
                 WaveletMatrix::<RrrBitVec>::with_params(bwt, b)
@@ -121,14 +119,8 @@ pub fn build_variant(variant: Variant, ts: &TrajectoryString, n_edges: usize) ->
             })),
             None,
         ),
-        Variant::FmGmr => (
-            Box::new(FmGmr::from_text(ts.text(), ts.sigma())),
-            None,
-        ),
-        Variant::FmApHyb => (
-            Box::new(FmApHyb::from_text(ts.text(), ts.sigma())),
-            None,
-        ),
+        Variant::FmGmr => (Box::new(FmGmr::from_text(ts.text(), ts.sigma())), None),
+        Variant::FmApHyb => (Box::new(FmApHyb::from_text(ts.text(), ts.sigma())), None),
     };
     BuiltIndex {
         name: variant.name(),
@@ -158,16 +150,17 @@ mod tests {
     #[test]
     fn every_variant_builds_and_agrees() {
         let ts = tiny_ts();
-        let pattern = TrajectoryString::encode_pattern(&[0, 1]);
+        let path = cinct_fmindex::Path::new(&[0, 1]);
         let expected = Some(9..11);
         for v in ALL_VARIANTS {
             let built = build_variant(v, &ts, 6);
             assert_eq!(
-                built.index.suffix_range(&pattern),
+                built.index.range(path),
                 expected,
                 "{} disagrees",
                 built.name
             );
+            assert_eq!(built.index.count(path), 2, "{} miscounts", built.name);
             assert!(built.bits_per_symbol() > 0.0);
         }
     }

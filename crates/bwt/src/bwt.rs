@@ -187,7 +187,9 @@ mod tests {
         for len in [5usize, 50, 500] {
             let mut text: Vec<u32> = (0..len)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((x >> 33) as u32) % 9 + 1
                 })
                 .collect();

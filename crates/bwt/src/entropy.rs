@@ -119,7 +119,9 @@ mod tests {
         let mut x = 42u64;
         let mut seq = vec![0u32];
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let prev = *seq.last().unwrap();
             // Strong dependence on previous symbol.
             let next = if (x >> 33) % 10 < 8 {

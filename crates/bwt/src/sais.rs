@@ -272,7 +272,9 @@ mod tests {
             for len in [10usize, 50, 200, 1000] {
                 let body: Vec<u32> = (0..len)
                     .map(|_| {
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         ((x >> 33) as u32) % sigma
                     })
                     .collect();
@@ -304,7 +306,9 @@ mod tests {
         let mut x = 999u64;
         let body: Vec<u32> = (0..20_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as u32) % 50
             })
             .collect();

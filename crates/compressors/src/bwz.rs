@@ -150,11 +150,7 @@ pub fn decompress(bwz: &Bwz) -> Vec<u32> {
         let tbwt = mtf_decode(&mtf, sigma);
         let text = inverse_bwt(&tbwt, sigma);
         debug_assert_eq!(text.len(), b.len + 1);
-        out.extend(
-            text[..b.len]
-                .iter()
-                .map(|&d| b.alphabet[(d - 1) as usize]),
-        );
+        out.extend(text[..b.len].iter().map(|&d| b.alphabet[(d - 1) as usize]));
     }
     out
 }
@@ -215,7 +211,9 @@ mod tests {
         let mut x = 11u64;
         let input: Vec<u32> = (0..5000)
             .map(|i| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if i % 7 < 4 {
                     (i % 9) as u32 * 1000 // structured, repetitive
                 } else {

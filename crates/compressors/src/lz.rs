@@ -175,7 +175,9 @@ mod tests {
         let mut x = 5u64;
         let input: Vec<u32> = (0..3000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as u32) % 30
             })
             .collect();
@@ -216,7 +218,9 @@ mod tests {
         let mut x = 5u64;
         let input: Vec<u32> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as u32) % 1000
             })
             .collect();

@@ -187,11 +187,8 @@ mod tests {
         let ts = cinct_bwt::TrajectoryString::build(&trajs, net.num_edges());
         let (_, tbwt) = cinct_bwt::bwt(ts.text(), ts.sigma());
         let c = cinct_bwt::CArray::new(ts.text(), ts.sigma());
-        let rml = cinct::Rml::from_text(
-            ts.text(),
-            ts.sigma(),
-            cinct::LabelingStrategy::BigramSorted,
-        );
+        let rml =
+            cinct::Rml::from_text(ts.text(), ts.sigma(), cinct::LabelingStrategy::BigramSorted);
         let h_rml = cinct_bwt::entropy_h0(&rml.label_bwt(&tbwt, &c));
         assert!(
             h_rml <= h_mel + 0.05,

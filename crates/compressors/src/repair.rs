@@ -70,8 +70,7 @@ pub fn compress_with_floor(input: &[u32], sigma: usize, min_count: i64) -> RePai
     for w in input.windows(2) {
         *counts.entry((w[0], w[1])).or_insert(0) += 1;
     }
-    let mut heap: BinaryHeap<(i64, (u32, u32))> =
-        counts.iter().map(|(&p, &c)| (c, p)).collect();
+    let mut heap: BinaryHeap<(i64, (u32, u32))> = counts.iter().map(|(&p, &c)| (c, p)).collect();
     let mut rules: Vec<(u32, u32)> = Vec::new();
 
     while let Some((snap, pair)) = heap.pop() {
@@ -102,7 +101,11 @@ pub fn compress_with_floor(input: &[u32], sigma: usize, min_count: i64) -> RePai
             if a == Some(pair.0) && b == Some(pair.1) {
                 // Update neighbour pair counts.
                 let p = prev[i as usize];
-                let k = if j == GAP || j as usize >= n { GAP } else { next[j as usize] };
+                let k = if j == GAP || j as usize >= n {
+                    GAP
+                } else {
+                    next[j as usize]
+                };
                 if let Some(x) = at(&seq, p) {
                     *counts.entry((x, pair.0)).or_insert(0) -= 1;
                     let c = counts.entry((x, new_sym)).or_insert(0);
@@ -224,7 +227,9 @@ mod tests {
         for sigma in [2u32, 5, 40] {
             let input: Vec<u32> = (0..2000)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((x >> 33) as u32) % sigma
                 })
                 .collect();

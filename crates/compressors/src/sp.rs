@@ -53,15 +53,15 @@ pub fn encode_with(
         sp.reset(origin);
         let mut acc = 0.0f64;
         let mut w_end = w_start; // last edge index included in the window
-        for k in (w_start + 1)..traj.len() {
-            let e = net.edge(traj[k]);
+        for (k, &edge_id) in traj.iter().enumerate().skip(w_start + 1) {
+            let e = net.edge(edge_id);
             acc += e.weight;
             sp.settle_to(net, acc + 1e-9);
             // The window [w_start..=k] is a shortest path iff the
             // accumulated weight equals the Dijkstra distance to e.to AND
             // the SP tree reaches e.to via traj[k] (unique-SP networks make
             // the weight check sufficient; the parent check guards ties).
-            let is_sp = (acc - sp.dist(e.to)).abs() < 1e-9 && sp.parent_edge(e.to) == traj[k];
+            let is_sp = (acc - sp.dist(e.to)).abs() < 1e-9 && sp.parent_edge(e.to) == edge_id;
             if is_sp {
                 w_end = k;
             } else {
@@ -178,7 +178,11 @@ mod tests {
     #[test]
     fn compression_ratio_on_trips() {
         let net = grid_city(12, 12, 9);
-        let trips = TripGenerator { min_edges: 10, max_attempts: 8 }.generate(&net, 100, 13);
+        let trips = TripGenerator {
+            min_edges: 10,
+            max_attempts: 8,
+        }
+        .generate(&net, 100, 13);
         let n: usize = trips.iter().map(Vec::len).sum();
         let ratio = compressed_size(&net, &trips).ratio(n);
         assert!(ratio > 3.0, "SP ratio {ratio}");

@@ -93,7 +93,11 @@ fn sp_roundtrip_on_random_networks() {
         .generate(&net, 30, seed + 100);
         for t in &trajs {
             let code = cinct_compressors::sp::encode(&net, t);
-            assert_eq!(cinct_compressors::sp::decode(&net, &code), *t, "seed {seed}");
+            assert_eq!(
+                cinct_compressors::sp::decode(&net, &code),
+                *t,
+                "seed {seed}"
+            );
         }
     }
 }

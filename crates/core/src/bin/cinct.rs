@@ -12,8 +12,7 @@
 //! ```
 
 use cinct::text_io::{format_trajectory, parse_path, parse_trajectories};
-use cinct::{CinctBuilder, CinctIndex};
-use cinct_fmindex::PatternIndex;
+use cinct::{CinctBuilder, CinctIndex, Path, PathQuery};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -111,12 +110,16 @@ fn cmd_build(input: &str, output: &str, flags: &[String]) -> Result<(), String> 
 fn cmd_stats(path: &str) -> Result<(), String> {
     let idx = load_index(path)?;
     println!("trajectories:     {}", idx.num_trajectories());
-    println!("indexed symbols:  {}", idx.len());
+    println!("indexed symbols:  {}", idx.text_len());
     println!("network edges:    {}", idx.network_edges());
     println!("sigma:            {}", idx.sigma());
     println!("ET-graph edges:   {}", idx.rml().graph().num_edges());
     println!("max out-degree:   {}", idx.rml().graph().max_out_degree());
-    println!("core size:        {} bytes ({:.2} bits/symbol)", idx.core_size_in_bytes(), idx.bits_per_symbol());
+    println!(
+        "core size:        {} bytes ({:.2} bits/symbol)",
+        idx.core_size_in_bytes(),
+        idx.bits_per_symbol()
+    );
     println!("  labeled BWT:    {} bytes", idx.size_without_et_graph());
     println!("directory extras: {} bytes", idx.directory_size_in_bytes());
     match idx.locate_sampling_rate() {
@@ -128,8 +131,8 @@ fn cmd_stats(path: &str) -> Result<(), String> {
 
 fn cmd_count(path: &str, spec: &str) -> Result<(), String> {
     let idx = load_index(path)?;
-    let p = parse_path(spec)?;
-    match idx.path_range(&p) {
+    let p = parse_path(spec).map_err(|e| e.to_string())?;
+    match idx.try_range(Path::new(&p)).map_err(|e| e.to_string())? {
         Some(r) => println!("{} (suffix range {}..{})", r.len(), r.start, r.end),
         None => println!("0"),
     }
@@ -138,12 +141,12 @@ fn cmd_count(path: &str, spec: &str) -> Result<(), String> {
 
 fn cmd_locate(path: &str, spec: &str) -> Result<(), String> {
     let idx = load_index(path)?;
-    let p = parse_path(spec)?;
-    let occ = idx
-        .locate_path(&p)
-        .ok_or("index was built without --locate")?;
-    println!("{} occurrence(s)", occ.len());
-    for (traj, offset) in occ {
+    let p = parse_path(spec).map_err(|e| e.to_string())?;
+    let occ = idx.occurrences(Path::new(&p)).map_err(|e| e.to_string())?;
+    println!("{} occurrence(s)", occ.remaining());
+    // Sorted (trajectory, offset) — the order scripts relied on before the
+    // streaming API; the iterator itself yields suffix-range order.
+    for (traj, offset) in occ.collect_sorted() {
         println!("trajectory {traj} @ edge offset {offset}");
     }
     Ok(())

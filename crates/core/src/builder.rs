@@ -4,6 +4,7 @@
 use crate::index::{CinctIndex, SaSamples};
 use crate::rml::{LabelingStrategy, Rml};
 use cinct_bwt::{bwt_from_sa, suffix_array, CArray, TrajectoryString};
+use cinct_fmindex::QueryError;
 use cinct_succinct::{BitBuf, HuffmanWaveletTree, IntVec, RankBitVec, RrrBitVec};
 use std::time::{Duration, Instant};
 
@@ -73,8 +74,40 @@ impl CinctBuilder {
     }
 
     /// Build from raw trajectories.
+    ///
+    /// Construction trusts its input for speed; use
+    /// [`CinctBuilder::try_build`] when the trajectories come from an
+    /// untrusted source.
     pub fn build(self, trajectories: &[Vec<u32>], n_edges: usize) -> CinctIndex {
         self.build_timed(trajectories, n_edges).0
+    }
+
+    /// Validate that every edge ID lies in `0..n_edges` and that there is
+    /// something to index, then build. Violations surface as
+    /// [`QueryError::UnknownEdge`] / [`QueryError::InvalidInput`] instead
+    /// of a panic (or silent corruption) deep inside construction.
+    pub fn try_build(
+        self,
+        trajectories: &[Vec<u32>],
+        n_edges: usize,
+    ) -> Result<CinctIndex, QueryError> {
+        if trajectories.is_empty() {
+            return Err(QueryError::InvalidInput("no trajectories to index".into()));
+        }
+        // Empty trajectories are dropped during construction, which would
+        // silently shift every trajectory ID the caller gets back from
+        // locate/get — reject them up front instead.
+        if let Some(i) = trajectories.iter().position(|t| t.is_empty()) {
+            return Err(QueryError::InvalidInput(format!("trajectory {i} is empty")));
+        }
+        for t in trajectories {
+            for &edge in t {
+                if edge as usize >= n_edges {
+                    return Err(QueryError::UnknownEdge { edge, n_edges });
+                }
+            }
+        }
+        Ok(self.build(trajectories, n_edges))
     }
 
     /// Build and report per-phase timings.
@@ -221,17 +254,16 @@ mod tests {
         let labeled: Vec<u32> = (0..tbwt.len())
             .map(|j| {
                 let w_prime = c.symbol_at(j);
-                idx.rml().label(tbwt[j], w_prime).expect("transition exists")
+                idx.rml()
+                    .label(tbwt[j], w_prime)
+                    .expect("transition exists")
             })
             .collect();
         for w_prime in 0..idx.sigma() as u32 {
             for (k, &w) in idx.rml().graph().out(w_prime).iter().enumerate() {
                 let label = k as u32 + 1;
                 let boundary = c.get(w_prime);
-                let rank_label = labeled[..boundary]
-                    .iter()
-                    .filter(|&&l| l == label)
-                    .count() as i64;
+                let rank_label = labeled[..boundary].iter().filter(|&&l| l == label).count() as i64;
                 let rank_sym = tbwt[..boundary].iter().filter(|&&s| s == w).count() as i64;
                 assert_eq!(
                     idx.rml().graph().z_term(label, w_prime),
@@ -263,5 +295,32 @@ mod tests {
     #[should_panic(expected = "rate >= 1")]
     fn rejects_zero_sampling() {
         let _ = CinctBuilder::new().locate_sampling(0);
+    }
+
+    #[test]
+    fn try_build_validates_input() {
+        assert_eq!(
+            CinctBuilder::new().try_build(&[vec![0, 9, 1]], 6).err(),
+            Some(QueryError::UnknownEdge {
+                edge: 9,
+                n_edges: 6
+            })
+        );
+        assert!(matches!(
+            CinctBuilder::new().try_build(&[vec![], vec![]], 6),
+            Err(QueryError::InvalidInput(_))
+        ));
+        // A mix of empty and non-empty trajectories would misattribute
+        // every occurrence (IDs shift when empties are dropped).
+        assert!(matches!(
+            CinctBuilder::new().try_build(&[vec![], vec![0, 1]], 6),
+            Err(QueryError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            CinctBuilder::new().try_build(&[], 6),
+            Err(QueryError::InvalidInput(_))
+        ));
+        let idx = CinctBuilder::new().try_build(&paper_trajs(), 6).unwrap();
+        assert_eq!(idx.count_path(&[0, 1]), 2);
     }
 }

@@ -1,0 +1,306 @@
+//! Batch query evaluation over any [`PathQuery`] backend.
+//!
+//! The bench harness, the CLI, and future batching/sharding layers all
+//! need the same thing: take a pile of heterogeneous queries, run them
+//! against *some* index behind `&dyn PathQuery`, and get back per-query
+//! results with timing — without writing per-backend dispatch. That is
+//! [`QueryEngine`]:
+//!
+//! ```
+//! use cinct::engine::{Query, QueryEngine, QueryValue};
+//! use cinct::CinctBuilder;
+//!
+//! let trajs = vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+//! let index = CinctBuilder::new().locate_sampling(4).build(&trajs, 6);
+//! let engine = QueryEngine::new(&index);
+//! let report = engine.run(&[
+//!     Query::count(&[0, 1]),
+//!     Query::occurrences(&[1, 2]),
+//!     Query::count(&[99]), // unknown edge: typed per-query error
+//! ]);
+//! assert_eq!(report.outcomes[0].value, Ok(QueryValue::Count(2)));
+//! assert_eq!(
+//!     report.outcomes[1].value,
+//!     Ok(QueryValue::Occurrences(vec![(1, 1), (2, 0)]))
+//! );
+//! assert!(report.outcomes[2].value.is_err());
+//! assert_eq!(report.hits(), 2);
+//! ```
+
+use cinct_fmindex::{Path, PathQuery, QueryError};
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// One query in a batch. Constructors take forward edge paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Number of occurrences of the path.
+    Count(Vec<u32>),
+    /// Suffix range of the path (`None` = absent).
+    Range(Vec<u32>),
+    /// Every `(trajectory, offset)` occurrence (needs locate support).
+    Occurrences(Vec<u32>),
+    /// `len` text symbols preceding `SA[row]`, forward text order.
+    Extract {
+        /// BWT row to start the LF walk from.
+        row: usize,
+        /// Number of symbols to extract.
+        len: usize,
+    },
+}
+
+impl Query {
+    /// A counting query.
+    pub fn count(path: &[u32]) -> Self {
+        Query::Count(path.to_vec())
+    }
+
+    /// A suffix-range query.
+    pub fn range(path: &[u32]) -> Self {
+        Query::Range(path.to_vec())
+    }
+
+    /// An occurrence-listing query.
+    pub fn occurrences(path: &[u32]) -> Self {
+        Query::Occurrences(path.to_vec())
+    }
+
+    /// An extraction query.
+    pub fn extract(row: usize, len: usize) -> Self {
+        Query::Extract { row, len }
+    }
+}
+
+/// The payload of a successfully evaluated [`Query`] (same arm).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryValue {
+    /// Occurrence count.
+    Count(usize),
+    /// Suffix range, `None` when the path is absent.
+    Range(Option<Range<usize>>),
+    /// Matches sorted by `(trajectory, offset)`.
+    Occurrences(Vec<(usize, usize)>),
+    /// Extracted text symbols (encoded), forward order.
+    Extract(Vec<u32>),
+}
+
+impl QueryValue {
+    /// How many matches this result represents (extractions count as the
+    /// number of symbols recovered).
+    pub fn matches(&self) -> usize {
+        match self {
+            QueryValue::Count(n) => *n,
+            QueryValue::Range(r) => r.as_ref().map_or(0, |r| r.len()),
+            QueryValue::Occurrences(v) => v.len(),
+            QueryValue::Extract(v) => v.len(),
+        }
+    }
+}
+
+/// One query's result + wall-clock cost.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The result, or the typed error this query (alone) failed with.
+    pub value: Result<QueryValue, QueryError>,
+    /// Time spent evaluating this query.
+    pub elapsed: Duration,
+}
+
+/// Results of a batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Per-query outcomes, in input order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Total wall-clock across the batch (sum of per-query costs).
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Queries that succeeded with at least one match.
+    pub fn hits(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.value.as_ref().is_ok_and(|v| v.matches() > 0))
+            .count()
+    }
+
+    /// Total matches across all successful queries.
+    pub fn total_matches(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.value.as_ref().ok())
+            .map(QueryValue::matches)
+            .sum()
+    }
+
+    /// Queries that failed with a typed error.
+    pub fn errors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.value.is_err()).count()
+    }
+
+    /// Mean microseconds per query.
+    pub fn mean_us(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.elapsed.as_secs_f64() * 1e6 / self.outcomes.len() as f64
+    }
+}
+
+/// Evaluates query batches against one backend. Backend-agnostic: anything
+/// implementing [`PathQuery`] (CiNCT, the five baselines, the temporal
+/// index) plugs in through a trait object.
+pub struct QueryEngine<'a> {
+    backend: &'a dyn PathQuery,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Wrap a backend.
+    pub fn new(backend: &'a (dyn PathQuery + 'a)) -> Self {
+        QueryEngine { backend }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &dyn PathQuery {
+        self.backend
+    }
+
+    /// Evaluate one query.
+    pub fn run_one(&self, query: &Query) -> QueryOutcome {
+        let t0 = Instant::now();
+        let value = match query {
+            Query::Count(path) => self
+                .backend
+                .try_range(Path::new(path))
+                .map(|r| QueryValue::Count(r.map_or(0, |r| r.len()))),
+            Query::Range(path) => self
+                .backend
+                .try_range(Path::new(path))
+                .map(QueryValue::Range),
+            Query::Occurrences(path) => self
+                .backend
+                .occurrences(Path::new(path))
+                .map(|it| QueryValue::Occurrences(it.collect_sorted())),
+            Query::Extract { row, len } => {
+                let n = self.backend.text_len();
+                if *row >= n {
+                    Err(QueryError::InvalidInput(format!(
+                        "extract row {row} out of range (text length {n})"
+                    )))
+                } else {
+                    Ok(QueryValue::Extract(
+                        cinct_fmindex::ExtractIter::new(self.backend, *row, *len).collect_forward(),
+                    ))
+                }
+            }
+        };
+        QueryOutcome {
+            value,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Evaluate a slice of queries, returning per-query results + timing.
+    pub fn run(&self, queries: &[Query]) -> BatchReport {
+        let mut report = BatchReport {
+            outcomes: Vec::with_capacity(queries.len()),
+            elapsed: Duration::ZERO,
+        };
+        for q in queries {
+            let outcome = self.run_one(q);
+            report.elapsed += outcome.elapsed;
+            report.outcomes.push(outcome);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CinctBuilder;
+    use crate::index::CinctIndex;
+    use cinct_bwt::TrajectoryString;
+    use cinct_fmindex::Ufmi;
+
+    fn paper_trajs() -> Vec<Vec<u32>> {
+        vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
+    }
+
+    #[test]
+    fn batch_over_cinct() {
+        let idx = CinctBuilder::new()
+            .locate_sampling(2)
+            .build(&paper_trajs(), 6);
+        let engine = QueryEngine::new(&idx);
+        let report = engine.run(&[
+            Query::count(&[0, 1]),
+            Query::range(&[0, 1]),
+            Query::range(&[3, 0]),
+            Query::occurrences(&[1, 2]),
+            Query::extract(0, 3),
+        ]);
+        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.outcomes[0].value, Ok(QueryValue::Count(2)));
+        assert_eq!(report.outcomes[1].value, Ok(QueryValue::Range(Some(9..11))));
+        assert_eq!(report.outcomes[2].value, Ok(QueryValue::Range(None)));
+        assert_eq!(
+            report.outcomes[3].value,
+            Ok(QueryValue::Occurrences(vec![(1, 1), (2, 0)]))
+        );
+        assert!(matches!(
+            report.outcomes[4].value,
+            Ok(QueryValue::Extract(ref v)) if v.len() == 3
+        ));
+        assert_eq!(report.errors(), 0);
+        // The absent-path range query succeeded but matched nothing.
+        assert_eq!(report.hits(), 4);
+    }
+
+    #[test]
+    fn per_query_errors_do_not_poison_the_batch() {
+        let idx = CinctIndex::build(&paper_trajs(), 6);
+        let engine = QueryEngine::new(&idx);
+        let report = engine.run(&[
+            Query::count(&[0, 1]),
+            Query::count(&[42]),               // unknown edge
+            Query::occurrences(&[0]),          // no locate support
+            Query::extract(idx.text_len(), 3), // row out of range
+            Query::count(&[1, 2]),
+        ]);
+        assert_eq!(report.errors(), 3);
+        assert_eq!(report.outcomes[0].value, Ok(QueryValue::Count(2)));
+        assert_eq!(
+            report.outcomes[1].value,
+            Err(QueryError::UnknownEdge {
+                edge: 42,
+                n_edges: 6
+            })
+        );
+        assert_eq!(report.outcomes[2].value, Err(QueryError::LocateUnsupported));
+        assert!(matches!(
+            report.outcomes[3].value,
+            Err(QueryError::InvalidInput(_))
+        ));
+        assert_eq!(report.outcomes[4].value, Ok(QueryValue::Count(2)));
+    }
+
+    #[test]
+    fn same_batch_any_backend() {
+        let trajs = paper_trajs();
+        let ts = TrajectoryString::build(&trajs, 6);
+        let cinct = CinctIndex::build(&trajs, 6);
+        let ufmi = Ufmi::from_text(ts.text(), ts.sigma());
+        let batch = [
+            Query::count(&[0, 1]),
+            Query::count(&[1, 2]),
+            Query::range(&[0, 3]),
+        ];
+        let a = QueryEngine::new(&cinct).run(&batch);
+        let b = QueryEngine::new(&ufmi).run(&batch);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.value, y.value);
+        }
+        assert_eq!(a.total_matches(), b.total_matches());
+    }
+}

@@ -1,0 +1,23 @@
+//! The query error taxonomy, re-exported at the point most callers look
+//! for it.
+//!
+//! [`QueryError`] is *defined* in `cinct_fmindex` — the crate that owns
+//! the shared [`cinct_fmindex::PathQuery`] trait, below every backend in
+//! the dependency graph — and re-exported here so `cinct::error::QueryError`
+//! works for code that only depends on the CiNCT crate.
+//!
+//! # The taxonomy at a glance
+//!
+//! | Variant | Meaning | Typical source |
+//! |---------|---------|----------------|
+//! | `EmptyPattern` | query path has no edges | occurrence/strict-path queries, CLI path parsing |
+//! | `UnknownEdge` | edge ID outside the indexed network | any validated query |
+//! | `LocateUnsupported` | index built without SA samples | `occurrences` on a count-only index |
+//! | `CorruptIndex` | persisted index failed an invariant | [`crate::CinctIndex::read_from`] |
+//! | `InvalidInput` | input data failed validation | [`crate::text_io`], [`crate::TimestampedTrajectory::validate`] |
+//! | `Io` | underlying stream failed | persistence, text I/O |
+//!
+//! "Path not present" is deliberately **not** in this list: absent paths
+//! are `None` / empty iterators, never errors.
+
+pub use cinct_fmindex::error::QueryError;

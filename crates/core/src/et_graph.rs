@@ -12,7 +12,7 @@
 //! term, attached by `builder.rs`). Bigram counts are construction-time
 //! scaffolding and are not part of the queryable structure.
 
-use cinct_succinct::serial::{Persist};
+use cinct_succinct::serial::Persist;
 use cinct_succinct::{IntVec, SpaceUsage};
 use std::collections::HashMap;
 
@@ -147,10 +147,7 @@ impl EtGraph {
     /// Builder-only; zigzag-encodes and packs at the width of the largest.
     pub(crate) fn attach_z_terms(&mut self, zs: &[i64]) {
         debug_assert_eq!(zs.len(), self.num_edges());
-        let encoded: Vec<u64> = zs
-            .iter()
-            .map(|&z| ((z << 1) ^ (z >> 63)) as u64)
-            .collect();
+        let encoded: Vec<u64> = zs.iter().map(|&z| ((z << 1) ^ (z >> 63)) as u64).collect();
         self.z_terms = IntVec::from_slice(&encoded);
     }
 

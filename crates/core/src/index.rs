@@ -3,8 +3,8 @@
 
 use crate::builder::CinctBuilder;
 use crate::rml::Rml;
-use cinct_bwt::{CArray, TrajectoryString};
-use cinct_fmindex::PatternIndex;
+use cinct_bwt::CArray;
+use cinct_fmindex::{OccurIter, OccurrenceSource, Path, PathQuery, QueryError};
 use cinct_succinct::serial::{read_u64, read_usize, write_u64, write_usize, Persist};
 use cinct_succinct::{
     BitRank, HuffmanWaveletTree, IntVec, RankBitVec, RrrBitVec, SpaceUsage, Symbol, SymbolSeq,
@@ -96,32 +96,29 @@ impl CinctIndex {
         Some((self.labeled.rank(label, j) as i64 - z) as usize)
     }
 
-    /// Suffix range query over an **encoded** pattern (paper Algorithm 3,
-    /// `LabeledSearchFM`). Most callers want [`CinctIndex::path_range`].
-    pub fn suffix_range_encoded(&self, pattern: &[Symbol]) -> Option<Range<usize>> {
-        let m = pattern.len();
-        if m == 0 {
+    /// `LabeledSearchFM` (paper Algorithm 3): backward search where each
+    /// rank is a PseudoRank, consuming pattern symbols last-to-first.
+    fn labeled_search(&self, mut symbols: impl Iterator<Item = Symbol>) -> Option<Range<usize>> {
+        let Some(mut w_prev) = symbols.next() else {
             return Some(0..self.labeled.len());
-        }
-        let w = pattern[m - 1];
-        if w as usize >= self.sigma() {
+        };
+        if w_prev as usize >= self.sigma() {
             return None;
         }
-        let mut sp = self.c.get(w);
-        let mut ep = self.c.get(w + 1);
-        for i in 2..=m {
+        let mut sp = self.c.get(w_prev);
+        let mut ep = self.c.get(w_prev + 1);
+        for w in symbols {
             if sp >= ep {
                 return None;
             }
-            let w_prime = pattern[m - i + 1];
-            let w = pattern[m - i];
             if w as usize >= self.sigma() {
                 return None;
             }
-            let label = self.rml.label(w, w_prime)?; // Line 5-6: NotFound
-            let z = self.rml.graph().z_term(label, w_prime);
+            let label = self.rml.label(w, w_prev)?; // Line 5-6: NotFound
+            let z = self.rml.graph().z_term(label, w_prev);
             sp = (self.c.get(w) as i64 + self.labeled.rank(label, sp) as i64 - z) as usize;
             ep = (self.c.get(w) as i64 + self.labeled.rank(label, ep) as i64 - z) as usize;
+            w_prev = w;
         }
         if sp < ep {
             Some(sp..ep)
@@ -130,14 +127,22 @@ impl CinctIndex {
         }
     }
 
-    /// Suffix range of a **forward path** of road-segment IDs.
-    pub fn path_range(&self, path: &[u32]) -> Option<Range<usize>> {
-        self.suffix_range_encoded(&TrajectoryString::encode_pattern(path))
+    /// Suffix range query over an **encoded** pattern. Most callers want
+    /// [`PathQuery::range`] / [`CinctIndex::path_range`] over forward paths.
+    pub fn suffix_range_encoded(&self, pattern: &[Symbol]) -> Option<Range<usize>> {
+        self.labeled_search(pattern.iter().rev().copied())
     }
 
-    /// Number of times the path occurs across all trajectories.
+    /// Suffix range of a **forward path** of road-segment IDs
+    /// (slice-flavored convenience for [`PathQuery::range`]).
+    pub fn path_range(&self, path: &[u32]) -> Option<Range<usize>> {
+        self.range(Path::new(path))
+    }
+
+    /// Number of times the path occurs across all trajectories
+    /// (slice-flavored convenience for [`PathQuery::count`]).
     pub fn count_path(&self, path: &[u32]) -> usize {
-        self.path_range(path).map_or(0, |r| r.len())
+        self.count(Path::new(path))
     }
 
     /// One LF-mapping step simulated with PseudoRank (the loop body of
@@ -153,16 +158,10 @@ impl CinctIndex {
     }
 
     /// Sub-path extraction (paper Algorithm 4): the `l` text symbols
-    /// preceding position `SA[j]`, i.e. `T[SA[j]-l .. SA[j])`.
+    /// preceding position `SA[j]`, i.e. `T[SA[j]-l .. SA[j])`. Eager twin
+    /// of the streaming [`PathQuery::extract_iter`].
     pub fn extract_encoded(&self, j: usize, l: usize) -> Vec<Symbol> {
-        let mut out = vec![0 as Symbol; l];
-        let mut j = j;
-        for k in 0..l {
-            let (w, next) = self.lf_step(j);
-            out[l - 1 - k] = w;
-            j = next;
-        }
-        out
+        PathQuery::extract(self, j, l)
     }
 
     /// Recover the `id`-th trajectory (forward edge order) from the
@@ -210,34 +209,26 @@ impl CinctIndex {
         }
     }
 
-    /// All `(trajectory id, offset)` occurrences of a forward path. The
-    /// offset is the edge index within the trajectory where the path starts.
-    /// Requires locate support.
+    /// All `(trajectory id, offset)` occurrences of a forward path,
+    /// eagerly collected and sorted.
+    ///
+    /// Legacy quirk this shim preserves: an *absent* path yields
+    /// `Some(vec![])` even when the index has no locate support, while a
+    /// *present* path without locate support yields `None`. The
+    /// replacement, [`PathQuery::occurrences`], reports
+    /// [`QueryError::LocateUnsupported`] up front in both cases and
+    /// streams matches without building a `Vec`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use PathQuery::occurrences (streaming, typed errors) instead"
+    )]
     pub fn locate_path(&self, path: &[u32]) -> Option<Vec<(usize, usize)>> {
-        let range = match self.path_range(path) {
+        let range = match self.range(Path::new(path)) {
             Some(r) => r,
             None => return Some(Vec::new()),
         };
         self.samples.as_ref()?;
-        let mut out = Vec::with_capacity(range.len());
-        for j in range {
-            let text_pos = self.locate(j).expect("samples checked above");
-            // text_pos is the start (in T) of the suffix matching the
-            // encoded (reversed) pattern; that is the position of the
-            // *last* path edge within the reversed trajectory.
-            let t = match self.traj_starts.binary_search(&(text_pos as u32)) {
-                Ok(i) => i,
-                Err(i) => i - 1,
-            };
-            let len = self.trajectory_len(t);
-            let start_in_rev = text_pos - self.traj_starts[t] as usize;
-            // Reversed offset of the path's last edge → forward offset of
-            // its first edge.
-            let offset = len - start_in_rev - path.len();
-            out.push((t, offset));
-        }
-        out.sort_unstable();
-        Some(out)
+        Some(OccurIter::new(self, Some(range), path.len()).collect_sorted())
     }
 
     /// Size of the queryable index as the paper accounts it: labeled
@@ -257,9 +248,10 @@ impl CinctIndex {
     pub fn directory_size_in_bytes(&self) -> usize {
         self.traj_starts.capacity() * 4
             + self.traj_rows.capacity() * 4
-            + self.samples.as_ref().map_or(0, |s| {
-                s.marked.size_in_bytes() + s.values.size_in_bytes()
-            })
+            + self
+                .samples
+                .as_ref()
+                .map_or(0, |s| s.marked.size_in_bytes() + s.values.size_in_bytes())
     }
 
     /// Number of road-network edges this index was built over.
@@ -296,8 +288,11 @@ impl CinctIndex {
     }
 
     /// Reload an index written with [`CinctIndex::write_to`].
-    pub fn read_from(r: &mut dyn Read) -> std::io::Result<Self> {
-        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    ///
+    /// Structural problems surface as [`QueryError::CorruptIndex`];
+    /// truncated or failing streams as [`QueryError::Io`].
+    pub fn read_from(r: &mut dyn Read) -> Result<Self, QueryError> {
+        let bad = |msg: &str| QueryError::CorruptIndex(msg.to_string());
         if read_u64(r)? != MAGIC {
             return Err(bad("not a CiNCT index (bad magic)"));
         }
@@ -332,21 +327,54 @@ impl CinctIndex {
     }
 }
 
-impl PatternIndex for CinctIndex {
-    fn len(&self) -> usize {
+impl PathQuery for CinctIndex {
+    fn text_len(&self) -> usize {
         self.labeled.len()
     }
 
-    fn suffix_range(&self, pattern: &[Symbol]) -> Option<Range<usize>> {
-        self.suffix_range_encoded(pattern)
-    }
-
-    fn extract(&self, j: usize, l: usize) -> Vec<Symbol> {
-        self.extract_encoded(j, l)
+    fn sigma(&self) -> usize {
+        self.c.sigma()
     }
 
     fn size_in_bytes(&self) -> usize {
         self.core_size_in_bytes()
+    }
+
+    /// Backward search consumes the trajectory-string pattern last symbol
+    /// first; trajectories are stored reversed, so that is the forward
+    /// edge order of `path`.
+    fn range(&self, path: &Path) -> Option<Range<usize>> {
+        self.labeled_search(path.search_symbols())
+    }
+
+    fn lf_step(&self, j: usize) -> (Symbol, usize) {
+        CinctIndex::lf_step(self, j)
+    }
+
+    fn occurrences(&self, path: &Path) -> Result<cinct_fmindex::OccurIter<'_>, QueryError> {
+        self.validate_path(path)?;
+        if self.samples.is_none() {
+            return Err(QueryError::LocateUnsupported);
+        }
+        Ok(OccurIter::new(self, self.range(path), path.len()))
+    }
+}
+
+impl OccurrenceSource for CinctIndex {
+    fn resolve_row(&self, j: usize, path_len: usize) -> (usize, usize) {
+        let text_pos = self.locate(j).expect("occurrences() checked SA samples");
+        // text_pos is the start (in T) of the suffix matching the encoded
+        // (reversed) pattern; that is the position of the *last* path edge
+        // within the reversed trajectory.
+        let t = match self.traj_starts.binary_search(&(text_pos as u32)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let len = self.trajectory_len(t);
+        let start_in_rev = text_pos - self.traj_starts[t] as usize;
+        // Reversed offset of the path's last edge → forward offset of its
+        // first edge.
+        (t, len - start_in_rev - path_len)
     }
 }
 
@@ -356,6 +384,7 @@ mod tests {
     use super::*;
     use crate::builder::CinctBuilder;
     use crate::rml::LabelingStrategy;
+    use cinct_bwt::TrajectoryString;
 
     fn paper_trajs() -> Vec<Vec<u32>> {
         vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
@@ -437,24 +466,59 @@ mod tests {
     }
 
     #[test]
-    fn locate_path_occurrences() {
+    fn occurrences_stream_matches() {
         let trajs = paper_trajs();
         let idx = CinctBuilder::new().locate_sampling(4).build(&trajs, 6);
         // Path A→B occurs at offset 0 of trajectories 0 and 1.
-        let occ = idx.locate_path(&[0, 1]).expect("locate enabled");
-        assert_eq!(occ, vec![(0, 0), (1, 0)]);
+        let occ = idx.occurrences(Path::new(&[0, 1])).expect("locate enabled");
+        assert_eq!(occ.remaining(), 2);
+        assert_eq!(occ.collect_sorted(), vec![(0, 0), (1, 0)]);
         // Path B→C occurs in trajectory 1 (offset 1) and 2 (offset 0).
-        let occ = idx.locate_path(&[1, 2]).expect("locate enabled");
-        assert_eq!(occ, vec![(1, 1), (2, 0)]);
-        // Absent path → empty.
+        let occ = idx.occurrences(Path::new(&[1, 2])).expect("locate enabled");
+        assert_eq!(occ.collect_sorted(), vec![(1, 1), (2, 0)]);
+        // Absent path → empty iterator, not an error.
+        let occ = idx.occurrences(Path::new(&[5, 5])).expect("locate enabled");
+        assert_eq!(occ.count(), 0);
+        // Malformed paths are typed errors.
+        assert_eq!(
+            idx.occurrences(Path::new(&[])).err(),
+            Some(QueryError::EmptyPattern)
+        );
+        assert_eq!(
+            idx.occurrences(Path::new(&[0, 77])).err(),
+            Some(QueryError::UnknownEdge {
+                edge: 77,
+                n_edges: 6
+            })
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn locate_path_shim_keeps_legacy_contract() {
+        let trajs = paper_trajs();
+        let idx = CinctBuilder::new().locate_sampling(4).build(&trajs, 6);
+        assert_eq!(idx.locate_path(&[0, 1]).unwrap(), vec![(0, 0), (1, 0)]);
         assert_eq!(idx.locate_path(&[5, 5]).unwrap(), vec![]);
     }
 
     #[test]
-    fn locate_without_support_is_none() {
+    #[allow(deprecated)]
+    fn locate_without_support_is_an_error() {
         let idx = CinctIndex::build(&paper_trajs(), 6);
         assert_eq!(idx.locate(0), None);
+        assert_eq!(
+            idx.occurrences(Path::new(&[0, 1])).err(),
+            Some(QueryError::LocateUnsupported)
+        );
+        // Even an absent path reports the capability gap up front...
+        assert_eq!(
+            idx.occurrences(Path::new(&[5, 5])).err(),
+            Some(QueryError::LocateUnsupported)
+        );
+        // ...whereas the legacy shim conflated the two.
         assert!(idx.locate_path(&[0, 1]).is_none());
+        assert_eq!(idx.locate_path(&[5, 5]), Some(vec![]));
     }
 
     #[test]
@@ -513,7 +577,9 @@ mod tests {
 
     #[test]
     fn size_accounting_separates_directory() {
-        let idx = CinctBuilder::new().locate_sampling(4).build(&paper_trajs(), 6);
+        let idx = CinctBuilder::new()
+            .locate_sampling(4)
+            .build(&paper_trajs(), 6);
         assert!(idx.core_size_in_bytes() > 0);
         assert!(idx.size_without_et_graph() < idx.core_size_in_bytes());
         assert!(idx.directory_size_in_bytes() > 0);

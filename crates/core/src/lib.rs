@@ -30,9 +30,11 @@
 //!
 //! # Quick start
 //!
+//! Every index in this workspace — CiNCT here, the five Table-II baselines
+//! in `cinct_fmindex` — answers queries through one trait, [`PathQuery`]:
+//!
 //! ```
-//! use cinct::CinctIndex;
-//! use cinct_fmindex::PatternIndex;
+//! use cinct::{CinctBuilder, CinctIndex, Path, PathQuery, QueryError};
 //!
 //! // Paper Fig. 1: four trajectories over road segments A..F = 0..5.
 //! let trajectories = vec![
@@ -41,14 +43,33 @@
 //!     vec![1, 2],       // B C
 //!     vec![0, 3],       // A D
 //! ];
-//! let index = CinctIndex::build(&trajectories, 6);
-//! // How many vehicles traveled A then B?
-//! assert_eq!(index.count_path(&[0, 1]), 2);
-//! // Recover a stored trajectory.
+//! // `locate_sampling` enables occurrence listing (locate queries).
+//! let index = CinctBuilder::new().locate_sampling(4).build(&trajectories, 6);
+//!
+//! // Counting: how many vehicles traveled A then B?
+//! assert_eq!(index.count(Path::new(&[0, 1])), 2);
+//! // An absent path is a non-error: no suffix range, zero matches.
+//! assert_eq!(index.range(Path::new(&[3, 0])), None);
+//! // Occurrence listing streams (trajectory, offset) pairs lazily off
+//! // sampled-suffix-array walks — no intermediate Vec.
+//! let occs = index.occurrences(Path::new(&[1, 2])).unwrap();
+//! assert_eq!(occs.collect_sorted(), vec![(1, 1), (2, 0)]);
+//! // Malformed queries are typed errors (see [`error`] for the taxonomy).
+//! assert_eq!(
+//!     index.occurrences(Path::new(&[99])).err(),
+//!     Some(QueryError::UnknownEdge { edge: 99, n_edges: 6 })
+//! );
+//! // Recover a stored trajectory from the compressed index alone.
 //! assert_eq!(index.trajectory(0), vec![0, 1, 4, 5]);
 //! ```
+//!
+//! Batches of heterogeneous queries run through [`engine::QueryEngine`],
+//! which works over any `&dyn PathQuery` backend and reports per-query
+//! results plus timing.
 
 pub mod builder;
+pub mod engine;
+pub mod error;
 pub mod et_graph;
 pub mod index;
 pub mod rml;
@@ -57,8 +78,16 @@ pub mod temporal;
 pub mod text_io;
 
 pub use builder::{CinctBuilder, ConstructionTimings};
+pub use engine::{BatchReport, Query, QueryEngine, QueryOutcome, QueryValue};
+pub use error::QueryError;
 pub use et_graph::EtGraph;
 pub use index::CinctIndex;
 pub use rml::{LabelingStrategy, Rml};
 pub use stats::DatasetStats;
-pub use temporal::{StrictPathQuery, TemporalCinct, TimestampedTrajectory};
+pub use temporal::{
+    StrictIter, StrictPathMatch, StrictPathQuery, TemporalCinct, TimestampedTrajectory,
+};
+
+// The unified query surface lives in `cinct_fmindex` (below every backend
+// in the dependency graph); re-export it so `use cinct::PathQuery` works.
+pub use cinct_fmindex::{ExtractIter, OccurIter, OccurrenceSource, Path, PathQuery};

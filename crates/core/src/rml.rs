@@ -224,7 +224,9 @@ mod tests {
         let mut x = 3u64;
         let mut body = vec![0u32];
         for _ in 0..30_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let prev = *body.last().unwrap();
             // biased transitions among 3 successors of prev
             let r = (x >> 33) % 10;

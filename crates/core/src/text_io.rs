@@ -2,16 +2,20 @@
 //!
 //! Format: one trajectory per line; edge IDs separated by commas and/or
 //! whitespace; `#` starts a comment; blank lines ignored.
+//!
+//! Malformed input surfaces as [`QueryError::InvalidInput`] (with line
+//! numbers), stream failures as [`QueryError::Io`].
 
+use cinct_fmindex::QueryError;
 use std::io::BufRead;
 
 /// Parse trajectories from a reader. Returns the trajectories and the
 /// implied edge-ID alphabet size (`max id + 1`).
-pub fn parse_trajectories(reader: impl BufRead) -> Result<(Vec<Vec<u32>>, usize), String> {
+pub fn parse_trajectories(reader: impl BufRead) -> Result<(Vec<Vec<u32>>, usize), QueryError> {
     let mut trajs = Vec::new();
     let mut max_edge = 0u32;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let line = line?;
         let body = line.split('#').next().unwrap_or("").trim();
         if body.is_empty() {
             continue;
@@ -21,9 +25,9 @@ pub fn parse_trajectories(reader: impl BufRead) -> Result<(Vec<Vec<u32>>, usize)
             if tok.is_empty() {
                 continue;
             }
-            let e: u32 = tok
-                .parse()
-                .map_err(|_| format!("line {}: bad edge id {tok:?}", lineno + 1))?;
+            let e: u32 = tok.parse().map_err(|_| {
+                QueryError::InvalidInput(format!("line {}: bad edge id {tok:?}", lineno + 1))
+            })?;
             max_edge = max_edge.max(e);
             t.push(e);
         }
@@ -32,24 +36,27 @@ pub fn parse_trajectories(reader: impl BufRead) -> Result<(Vec<Vec<u32>>, usize)
         }
     }
     if trajs.is_empty() {
-        return Err("no trajectories in input".to_string());
+        return Err(QueryError::InvalidInput("no trajectories in input".into()));
     }
     Ok((trajs, max_edge as usize + 1))
 }
 
 /// Parse a comma-separated edge path (`"12,13,14"`).
-pub fn parse_path(spec: &str) -> Result<Vec<u32>, String> {
-    let path: Result<Vec<u32>, String> = spec
+pub fn parse_path(spec: &str) -> Result<Vec<u32>, QueryError> {
+    if spec.trim().is_empty() {
+        return Err(QueryError::EmptyPattern);
+    }
+    let path: Result<Vec<u32>, QueryError> = spec
         .split(',')
         .map(|t| {
             t.trim()
                 .parse::<u32>()
-                .map_err(|_| format!("bad edge id {t:?} in path"))
+                .map_err(|_| QueryError::InvalidInput(format!("bad edge id {t:?} in path")))
         })
         .collect();
     let path = path?;
     if path.is_empty() {
-        return Err("empty path".to_string());
+        return Err(QueryError::EmptyPattern);
     }
     Ok(path)
 }
@@ -77,8 +84,10 @@ mod tests {
     #[test]
     fn rejects_bad_ids_with_line_numbers() {
         let err = parse_trajectories("0,1\n2,x,3\n".as_bytes()).unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-        assert!(err.contains("\"x\""), "{err}");
+        assert!(matches!(err, QueryError::InvalidInput(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("\"x\""), "{msg}");
     }
 
     #[test]
@@ -89,8 +98,11 @@ mod tests {
     #[test]
     fn path_parsing() {
         assert_eq!(parse_path("3, 4 ,5").unwrap(), vec![3, 4, 5]);
-        assert!(parse_path("3,,5").is_err());
-        assert!(parse_path("").is_err());
+        assert!(matches!(
+            parse_path("3,,5"),
+            Err(QueryError::InvalidInput(_))
+        ));
+        assert_eq!(parse_path(""), Err(QueryError::EmptyPattern));
     }
 
     #[test]

@@ -13,9 +13,7 @@
 //! `rank_class(w)(i)` — two structure lookups, with the frequent symbols
 //! living in small-alphabet (cheap) classes.
 
-use cinct_succinct::{
-    HuffmanWaveletTree, RrrBitVec, SpaceUsage, Symbol, SymbolSeq, WaveletMatrix,
-};
+use cinct_succinct::{HuffmanWaveletTree, RrrBitVec, SpaceUsage, Symbol, SymbolSeq, WaveletMatrix};
 
 /// Alphabet-partitioned sequence representation.
 #[derive(Clone, Debug)]
@@ -44,7 +42,9 @@ impl AlphabetPartitionSeq {
         for &s in seq {
             freqs[s as usize] += 1;
         }
-        let mut order: Vec<u32> = (0..sigma as u32).filter(|&s| freqs[s as usize] > 0).collect();
+        let mut order: Vec<u32> = (0..sigma as u32)
+            .filter(|&s| freqs[s as usize] > 0)
+            .collect();
         order.sort_by_key(|&s| (std::cmp::Reverse(freqs[s as usize]), s));
         // class(s) = floor(log2(freq_rank + 1)); #classes ≈ log2 σ.
         let mut class_of = vec![0u8; sigma];
@@ -146,11 +146,7 @@ impl SpaceUsage for AlphabetPartitionSeq {
     fn size_in_bytes(&self) -> usize {
         self.class_of.capacity()
             + self.offset_of.capacity() * 4
-            + self
-                .members
-                .iter()
-                .map(|m| m.capacity() * 4)
-                .sum::<usize>()
+            + self.members.iter().map(|m| m.capacity() * 4).sum::<usize>()
             + self.classes.size_in_bytes()
             + self
                 .offsets
@@ -177,7 +173,9 @@ mod tests {
         let harmonic: f64 = (1..=sigma as usize).map(|k| 1.0 / k as f64).sum();
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let mut u = ((x >> 11) as f64 / (1u64 << 53) as f64) * harmonic;
                 for k in 0..sigma {
                     u -= 1.0 / (k + 1) as f64;
@@ -224,7 +222,10 @@ mod tests {
         let seq = zipf_seq(150_000, sigma, 9);
         let ap = AlphabetPartitionSeq::new(&seq, sigma as usize);
         let bps = ap.size_in_bits() as f64 / seq.len() as f64;
-        assert!(bps < 13.0, "AP used {bps:.2} bits/symbol (plain width = 13)");
+        assert!(
+            bps < 13.0,
+            "AP used {bps:.2} bits/symbol (plain width = 13)"
+        );
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The typed error taxonomy shared by every query backend.
+//!
+//! One deliberate asymmetry runs through the whole API: **"path not
+//! present" is never an error.** [`crate::PathQuery::range`] returns
+//! `None` and [`crate::PathQuery::occurrences`] returns an empty iterator
+//! for a path no trajectory traveled; [`QueryError`] is reserved for
+//! queries that are *malformed* ([`QueryError::EmptyPattern`],
+//! [`QueryError::UnknownEdge`]), ask for a capability the index was built
+//! without ([`QueryError::LocateUnsupported`]), or hit broken persisted
+//! state ([`QueryError::CorruptIndex`], [`QueryError::Io`]).
+
+use std::fmt;
+
+/// Everything that can go wrong answering (or preparing to answer) a path
+/// query. See the module docs for the error-vs-absent distinction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The query path has no edges. Counting an empty path is meaningless
+    /// (every position matches), so occurrence queries reject it up front.
+    EmptyPattern,
+    /// An edge ID in the query does not exist in the indexed road network.
+    UnknownEdge {
+        /// The offending edge ID.
+        edge: u32,
+        /// Number of edges in the indexed network (valid IDs are
+        /// `0..n_edges`).
+        n_edges: usize,
+    },
+    /// The operation needs `locate` support (a sampled suffix array), but
+    /// the index was built without it — see `CinctBuilder::locate_sampling`.
+    LocateUnsupported,
+    /// A persisted index failed a structural invariant while loading or
+    /// querying (bad magic, mismatched directory lengths, ...).
+    CorruptIndex(String),
+    /// Input data (trajectory text, timestamps) failed validation.
+    InvalidInput(String),
+    /// An underlying I/O operation failed (the message includes the
+    /// `std::io` error; truncated streams surface as `UnexpectedEof`).
+    Io(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyPattern => write!(f, "query path is empty"),
+            QueryError::UnknownEdge { edge, n_edges } => {
+                write!(f, "edge {edge} outside the indexed network (0..{n_edges})")
+            }
+            QueryError::LocateUnsupported => {
+                write!(f, "index was built without locate support (no SA samples)")
+            }
+            QueryError::CorruptIndex(detail) => write!(f, "corrupt index: {detail}"),
+            QueryError::InvalidInput(detail) => write!(f, "invalid input: {detail}"),
+            QueryError::Io(detail) => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<std::io::Error> for QueryError {
+    fn from(e: std::io::Error) -> Self {
+        QueryError::Io(format!("{:?}: {e}", e.kind()))
+    }
+}
+
+impl QueryError {
+    /// `true` for errors caused by the *query* (fixable by the caller)
+    /// rather than by index state.
+    pub fn is_query_fault(&self) -> bool {
+        matches!(
+            self,
+            QueryError::EmptyPattern | QueryError::UnknownEdge { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::UnknownEdge {
+            edge: 99,
+            n_edges: 6,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("0..6"));
+        assert!(QueryError::LocateUnsupported.to_string().contains("locate"));
+    }
+
+    #[test]
+    fn io_conversion_keeps_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let q: QueryError = io.into();
+        assert_eq!(q, QueryError::Io("UnexpectedEof: short read".into()));
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(QueryError::EmptyPattern.is_query_fault());
+        assert!(QueryError::UnknownEdge {
+            edge: 0,
+            n_edges: 0
+        }
+        .is_query_fault());
+        assert!(!QueryError::LocateUnsupported.is_query_fault());
+        assert!(!QueryError::CorruptIndex("x".into()).is_query_fault());
+    }
+}

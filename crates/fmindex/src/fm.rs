@@ -1,47 +1,17 @@
-//! The generic FM-index and the [`PatternIndex`] query interface.
+//! The generic FM-index behind the five Table-II baselines.
 //!
 //! [`FmIndex`] stores `C[w]` plus the BWT in any [`SymbolSeq`]; backward
 //! search follows the paper's Algorithm 1 (`SearchFM`), and sub-path
 //! extraction follows the LF-mapping walk of Algorithm 4 (without the RML
-//! decoding steps, which belong to CiNCT).
+//! decoding steps, which belong to CiNCT). All query traffic goes through
+//! the unified [`PathQuery`] trait; the encoded-pattern primitives
+//! ([`FmIndex::suffix_range`], [`FmIndex::extract_encoded`]) stay public
+//! for reference-oracle tests.
 
+use crate::query::{Path, PathQuery};
 use cinct_bwt::{bwt_from_sa, suffix_array, CArray};
 use cinct_succinct::{Symbol, SymbolSeq};
 use std::ops::Range;
-
-/// Queries shared by every index in this workspace (the five baselines here
-/// and CiNCT in the `cinct` crate).
-pub trait PatternIndex {
-    /// Length of the indexed string (including sentinels).
-    fn len(&self) -> usize;
-
-    /// `true` iff nothing is indexed.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The suffix range `R(P) = [sp, ep)` of an (encoded) pattern, or
-    /// `None` when the pattern does not occur.
-    fn suffix_range(&self, pattern: &[Symbol]) -> Option<Range<usize>>;
-
-    /// Number of occurrences of the pattern.
-    fn count(&self, pattern: &[Symbol]) -> usize {
-        self.suffix_range(pattern).map_or(0, |r| r.len())
-    }
-
-    /// `extract(j, l)`: the `l` text symbols ending at the position whose
-    /// inverse-suffix-array value is `j` — i.e. `T[i-l..i)` with `i = SA[j]`
-    /// (paper §IV-C). Shorter output if the walk hits the start of `T`.
-    fn extract(&self, j: usize, l: usize) -> Vec<Symbol>;
-
-    /// Heap bytes used by the index.
-    fn size_in_bytes(&self) -> usize;
-
-    /// Index size in bits per indexed symbol (the y-axis of paper Fig. 10).
-    fn bits_per_symbol(&self) -> f64 {
-        self.size_in_bytes() as f64 * 8.0 / self.len() as f64
-    }
-}
 
 /// FM-index generic over the BWT container.
 #[derive(Clone, Debug)]
@@ -85,30 +55,22 @@ impl<S: SymbolSeq> FmIndex<S> {
         let w = self.seq.access(j);
         (w, self.c.get(w) + self.seq.rank(w, j))
     }
-}
 
-impl<S: SymbolSeq> PatternIndex for FmIndex<S> {
-    fn len(&self) -> usize {
-        self.seq.len()
-    }
-
-    /// Algorithm 1 (`SearchFM`): backward search over the BWT.
-    fn suffix_range(&self, pattern: &[Symbol]) -> Option<Range<usize>> {
-        let m = pattern.len();
-        if m == 0 {
-            return Some(0..self.len());
-        }
-        let w = pattern[m - 1];
+    /// Algorithm 1 (`SearchFM`): backward search, consuming pattern symbols
+    /// last-to-first.
+    fn backward_search(&self, mut symbols: impl Iterator<Item = Symbol>) -> Option<Range<usize>> {
+        let Some(w) = symbols.next() else {
+            return Some(0..self.seq.len());
+        };
         if w as usize >= self.c.sigma() {
             return None;
         }
         let mut sp = self.c.get(w);
         let mut ep = self.c.get(w + 1);
-        for i in 2..=m {
+        for w in symbols {
             if sp >= ep {
                 return None;
             }
-            let w = pattern[m - i];
             if w as usize >= self.c.sigma() {
                 return None;
             }
@@ -122,19 +84,43 @@ impl<S: SymbolSeq> PatternIndex for FmIndex<S> {
         }
     }
 
-    fn extract(&self, j: usize, l: usize) -> Vec<Symbol> {
-        let mut out = vec![0 as Symbol; l];
-        let mut j = j;
-        for k in 0..l {
-            let (w, next) = self.lf_step(j);
-            out[l - 1 - k] = w;
-            j = next;
-        }
-        out
+    /// The suffix range `R(P) = [sp, ep)` of an **encoded** pattern (text
+    /// symbols, i.e. a reversed path shifted past the sentinels), or `None`
+    /// when the pattern does not occur. Most callers want
+    /// [`PathQuery::range`] over a forward [`Path`].
+    pub fn suffix_range(&self, pattern: &[Symbol]) -> Option<Range<usize>> {
+        self.backward_search(pattern.iter().rev().copied())
+    }
+
+    /// Eager extraction of the `l` text symbols ending at `SA[j]` — the
+    /// encoded-level twin of [`PathQuery::extract`].
+    pub fn extract_encoded(&self, j: usize, l: usize) -> Vec<Symbol> {
+        PathQuery::extract(self, j, l)
+    }
+}
+
+impl<S: SymbolSeq> PathQuery for FmIndex<S> {
+    fn text_len(&self) -> usize {
+        self.seq.len()
+    }
+
+    fn sigma(&self) -> usize {
+        self.c.sigma()
     }
 
     fn size_in_bytes(&self) -> usize {
         self.c.size_in_bytes() + self.seq.size_in_bytes()
+    }
+
+    /// Backward search consumes the trajectory-string pattern last symbol
+    /// first; trajectories are stored reversed, so that is the forward
+    /// edge order of `path`.
+    fn range(&self, path: &Path) -> Option<Range<usize>> {
+        self.backward_search(path.search_symbols())
+    }
+
+    fn lf_step(&self, j: usize) -> (Symbol, usize) {
+        FmIndex::lf_step(self, j)
     }
 }
 
@@ -173,6 +159,7 @@ impl<B: cinct_succinct::BitVecBuild> SymbolSeqFromBwt for cinct_succinct::Huffma
 #[allow(clippy::needless_range_loop)] // indices appear in assertion messages
 mod tests {
     use super::*;
+    use crate::error::QueryError;
     use cinct_bwt::TrajectoryString;
     use cinct_succinct::{RankBitVec, WaveletMatrix};
 
@@ -195,7 +182,9 @@ mod tests {
         let pattern = TrajectoryString::encode_pattern(&[0, 1]);
         assert_eq!(pattern, vec![3, 2]);
         assert_eq!(idx.suffix_range(&pattern), Some(9..11));
-        assert_eq!(idx.count(&pattern), 2); // T1 and T2 travel A→B
+        // The forward-path API agrees without any encoding step.
+        assert_eq!(idx.range(Path::new(&[0, 1])), Some(9..11));
+        assert_eq!(idx.count(Path::new(&[0, 1])), 2); // T1 and T2 travel A→B
     }
 
     #[test]
@@ -218,8 +207,13 @@ mod tests {
                 .iter()
                 .map(|t| t.windows(p.len()).filter(|w| *w == &p[..]).count())
                 .sum();
-            let got = idx.count(&TrajectoryString::encode_pattern(&p));
-            assert_eq!(got, expected, "path {p:?}");
+            assert_eq!(idx.count(Path::new(&p)), expected, "path {p:?}");
+            // The encoded route computes the same range.
+            assert_eq!(
+                idx.suffix_range(&TrajectoryString::encode_pattern(&p)),
+                idx.range(Path::new(&p)),
+                "path {p:?}"
+            );
         }
     }
 
@@ -227,6 +221,7 @@ mod tests {
     fn empty_pattern_matches_everything() {
         let (ts, idx) = paper_index();
         assert_eq!(idx.suffix_range(&[]), Some(0..ts.len()));
+        assert_eq!(idx.range(Path::new(&[])), Some(0..ts.len()));
     }
 
     #[test]
@@ -234,6 +229,29 @@ mod tests {
         let (_, idx) = paper_index();
         assert_eq!(idx.suffix_range(&[100]), None);
         assert_eq!(idx.suffix_range(&[2, 100]), None);
+        // Typed route: range says absent, try_range names the bad edge.
+        assert_eq!(idx.range(Path::new(&[98])), None);
+        assert_eq!(
+            idx.try_range(Path::new(&[98])),
+            Err(QueryError::UnknownEdge {
+                edge: 98,
+                n_edges: 6
+            })
+        );
+    }
+
+    #[test]
+    fn baselines_do_not_support_locate() {
+        let (_, idx) = paper_index();
+        assert!(matches!(
+            idx.occurrences(Path::new(&[0, 1])),
+            Err(QueryError::LocateUnsupported)
+        ));
+        // ...but malformed queries are diagnosed first.
+        assert!(matches!(
+            idx.occurrences(Path::new(&[])),
+            Err(QueryError::EmptyPattern)
+        ));
     }
 
     #[test]
@@ -248,6 +266,10 @@ mod tests {
             for l in 1..=4usize.min(i) {
                 let got = idx.extract(j, l);
                 assert_eq!(&got[..], &ts.text()[i - l..i], "j={j} l={l}");
+                // The streaming iterator yields the same symbols in
+                // LF-walk (reverse text) order.
+                let streamed: Vec<u32> = idx.extract_iter(j, l).collect();
+                assert!(streamed.iter().rev().eq(got.iter()), "j={j} l={l}");
             }
         }
     }
@@ -260,5 +282,14 @@ mod tests {
         let n = ts.len();
         let got = idx.extract(0, n - 1);
         assert_eq!(&got[..], &ts.text()[..n - 1]);
+    }
+
+    #[test]
+    fn extract_iter_is_lazy_and_sized() {
+        let (_, idx) = paper_index();
+        let mut it = idx.extract_iter(0, 5);
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
     }
 }

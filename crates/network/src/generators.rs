@@ -29,9 +29,17 @@ pub fn grid_city(w: usize, h: usize, seed: u64) -> RoadNetwork {
     let mut edges = Vec::new();
     let mut push_bidir = |a: NodeId, b: NodeId, rng: &mut StdRng| {
         let wt = 1.0 + rng.gen::<f64>() * 0.1;
-        edges.push(Edge { from: a, to: b, weight: wt });
+        edges.push(Edge {
+            from: a,
+            to: b,
+            weight: wt,
+        });
         let wt = 1.0 + rng.gen::<f64>() * 0.1;
-        edges.push(Edge { from: b, to: a, weight: wt });
+        edges.push(Edge {
+            from: b,
+            to: a,
+            weight: wt,
+        });
     };
     for y in 0..h {
         for x in 0..w {
@@ -66,9 +74,17 @@ pub fn ring_radial_city(rings: usize, spokes: usize, seed: u64) -> RoadNetwork {
     let mut edges = Vec::new();
     let mut push_bidir = |a: NodeId, b: NodeId, base: f64, rng: &mut StdRng| {
         let wt = base * (1.0 + rng.gen::<f64>() * 0.05);
-        edges.push(Edge { from: a, to: b, weight: wt });
+        edges.push(Edge {
+            from: a,
+            to: b,
+            weight: wt,
+        });
         let wt = base * (1.0 + rng.gen::<f64>() * 0.05);
-        edges.push(Edge { from: b, to: a, weight: wt });
+        edges.push(Edge {
+            from: b,
+            to: a,
+            weight: wt,
+        });
     };
     // Ring edges.
     for r in 1..=rings {
@@ -245,7 +261,11 @@ mod tests {
         // every edge goes from ply p to ply p+1 (or from start)
         for e in 0..net.num_edges() as u32 {
             let edge = net.edge(e);
-            let from_ply = if edge.from == 0 { -1 } else { ((edge.from - 1) / 50) as i64 };
+            let from_ply = if edge.from == 0 {
+                -1
+            } else {
+                ((edge.from - 1) / 50) as i64
+            };
             let to_ply = ((edge.to - 1) / 50) as i64;
             assert_eq!(to_ply, from_ply + 1);
         }

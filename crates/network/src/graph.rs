@@ -151,7 +151,10 @@ impl RoadNetwork {
                 if nd < dist[e.to as usize] {
                     dist[e.to as usize] = nd;
                     parent_edge[e.to as usize] = eid;
-                    heap.push(HeapEntry { dist: nd, node: e.to });
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: e.to,
+                    });
                 }
             }
         }
@@ -248,7 +251,10 @@ impl LazyDijkstra {
                 let nd = d + e.weight;
                 if nd < self.dist(e.to) {
                     self.set(e.to, nd, eid);
-                    self.heap.push(HeapEntry { dist: nd, node: e.to });
+                    self.heap.push(HeapEntry {
+                        dist: nd,
+                        node: e.to,
+                    });
                 }
             }
         }
@@ -336,11 +342,31 @@ mod tests {
     fn diamond() -> RoadNetwork {
         let coords = vec![(0.0, 0.0), (1.0, 1.0), (1.0, -1.0), (2.0, 0.0)];
         let edges = vec![
-            Edge { from: 0, to: 1, weight: 1.0 }, // e0
-            Edge { from: 0, to: 2, weight: 2.0 }, // e1
-            Edge { from: 1, to: 3, weight: 1.0 }, // e2
-            Edge { from: 2, to: 3, weight: 1.0 }, // e3
-            Edge { from: 0, to: 3, weight: 10.0 }, // e4
+            Edge {
+                from: 0,
+                to: 1,
+                weight: 1.0,
+            }, // e0
+            Edge {
+                from: 0,
+                to: 2,
+                weight: 2.0,
+            }, // e1
+            Edge {
+                from: 1,
+                to: 3,
+                weight: 1.0,
+            }, // e2
+            Edge {
+                from: 2,
+                to: 3,
+                weight: 1.0,
+            }, // e3
+            Edge {
+                from: 0,
+                to: 3,
+                weight: 10.0,
+            }, // e4
         ];
         RoadNetwork::new(coords, edges)
     }
@@ -379,20 +405,37 @@ mod tests {
         // straight line 0 → 1 → 2 along x-axis, plus a left turn up.
         let coords = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (1.0, 1.0)];
         let edges = vec![
-            Edge { from: 0, to: 1, weight: 1.0 },
-            Edge { from: 1, to: 2, weight: 1.0 },
-            Edge { from: 1, to: 3, weight: 1.0 },
+            Edge {
+                from: 0,
+                to: 1,
+                weight: 1.0,
+            },
+            Edge {
+                from: 1,
+                to: 2,
+                weight: 1.0,
+            },
+            Edge {
+                from: 1,
+                to: 3,
+                weight: 1.0,
+            },
         ];
         let net = RoadNetwork::new(coords, edges);
         assert!(net.turn_angle(0, 1).abs() < 1e-12); // straight
-        assert!((net.turn_angle(0, 2) - std::f64::consts::FRAC_PI_2).abs() < 1e-12); // left
+        assert!((net.turn_angle(0, 2) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // left
     }
 
     #[test]
     fn unreachable_nodes() {
         let net = RoadNetwork::new(
             vec![(0.0, 0.0), (1.0, 0.0)],
-            vec![Edge { from: 0, to: 1, weight: 1.0 }],
+            vec![Edge {
+                from: 0,
+                to: 1,
+                weight: 1.0,
+            }],
         );
         let sp = net.dijkstra(1);
         assert!(!sp.dist[0].is_finite());

@@ -306,10 +306,7 @@ mod tests {
         let net = grid_city(10, 10, 3);
         let mut trajs = WalkConfig::default().generate(&net, 80, 11);
         GapNoise { gap_prob: 0.1 }.apply(&net, &mut trajs, 13);
-        let broken = trajs
-            .iter()
-            .filter(|t| !is_connected_path(&net, t))
-            .count();
+        let broken = trajs.iter().filter(|t| !is_connected_path(&net, t)).count();
         assert!(broken > 0, "noise should break some trajectories");
         let fixed = interpolate_gaps(&net, &trajs);
         for t in &fixed {

@@ -70,8 +70,8 @@ proptest! {
         let src = src_sel % net.num_nodes() as u32;
         let sp = net.dijkstra(src);
         let oracle = bellman_ford(&net, src);
-        for v in 0..net.num_nodes() {
-            let (a, b) = (sp.dist[v], oracle[v]);
+        for (v, &b) in oracle.iter().enumerate().take(net.num_nodes()) {
+            let a = sp.dist[v];
             prop_assert!(
                 (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-6,
                 "node {}: dijkstra {} vs bf {}", v, a, b
@@ -136,7 +136,10 @@ fn generators_are_deterministic_and_well_formed() {
         let p = poisson_digraph(500, 3.0, seed);
         assert_eq!(p.num_edges(), 500);
         for e in 0..p.num_edges() as u32 {
-            assert!(!p.successors(e).is_empty(), "dead-end edge in poisson graph");
+            assert!(
+                !p.successors(e).is_empty(),
+                "dead-end edge in poisson graph"
+            );
         }
     }
 }

@@ -1,0 +1,185 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no registry access, so this vendored shim
+//! provides the subset of the `rand 0.8` API the workspace uses: a seeded
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] for
+//! `f64`/`u64`/`bool`, and [`Rng::gen_range`] over integer ranges.
+//!
+//! The generator is splitmix64 — statistically fine for synthetic-dataset
+//! generation and workload sampling, deterministic per seed, but **not**
+//! stream-compatible with the real `StdRng` (ChaCha12). Swap the workspace
+//! `rand` path dependency for the registry crate when network access is
+//! available; nothing in this repo asserts golden values of the stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` (see [`Standard`] impls: `f64` uniform in
+    /// `[0, 1)`, `u64`/`u32` uniform, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a range (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+}
+
+/// Types samplable from 64 raw bits (stand-in for `rand::distributions::Standard`).
+pub trait Standard {
+    /// Map 64 raw bits to a sample.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits >> 63 != 0
+    }
+}
+
+/// Ranges a `T` can be drawn from (stand-in for `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one sample using 64 raw bits.
+    fn sample(self, bits: u64) -> T;
+}
+
+/// Integer types uniform ranges can be drawn over (stand-in for
+/// `rand::distributions::uniform::SampleUniform`). The single blanket
+/// `SampleRange` impl below keeps type inference working the way it does
+/// with the real crate (`let x: u64 = rng.gen_range(20..60)`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`hi` itself when `inclusive`).
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: $t, hi: $t, inclusive: bool, bits: u64) -> $t {
+                let span = (hi - lo) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                lo + (bits as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(lo: f64, hi: f64, _inclusive: bool, bits: u64) -> f64 {
+        lo + f64::sample(bits) * (hi - lo)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, bits: u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(self.start, self.end, false, bits)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, bits: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(lo, hi, true, bits)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seeded generator (splitmix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // Warm up so nearby seeds decorrelate.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

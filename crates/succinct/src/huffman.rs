@@ -215,7 +215,10 @@ impl HuffmanTree {
                 assert!(nlen <= 64, "Huffman code longer than 64 bits");
                 match child {
                     Child::Leaf(s) => {
-                        codes[s as usize] = Some(Codeword { bits: nbits, len: nlen });
+                        codes[s as usize] = Some(Codeword {
+                            bits: nbits,
+                            len: nlen,
+                        });
                     }
                     Child::Node(i) => stack.push((i, nbits, nlen)),
                 }
@@ -309,11 +312,7 @@ impl HuffmanCode {
         freqs
             .iter()
             .enumerate()
-            .map(|(s, &f)| {
-                f * self
-                    .code(s as Symbol)
-                    .map_or(0, |c| c.len as u64)
-            })
+            .map(|(s, &f)| f * self.code(s as Symbol).map_or(0, |c| c.len as u64))
             .sum()
     }
 
@@ -331,8 +330,7 @@ impl HuffmanCode {
 
 impl SpaceUsage for HuffmanTree {
     fn size_in_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<(Child, Child)>()
-            + self.codes.size_in_bytes()
+        self.nodes.capacity() * std::mem::size_of::<(Child, Child)>() + self.codes.size_in_bytes()
     }
 }
 
@@ -353,7 +351,9 @@ mod tests {
         }
         assert_eq!(kraft_num, 1u128 << 64);
         // Prefix freedom.
-        let live: Vec<Codeword> = (0..freqs.len() as u32).filter_map(|s| tree.code(s)).collect();
+        let live: Vec<Codeword> = (0..freqs.len() as u32)
+            .filter_map(|s| tree.code(s))
+            .collect();
         for (i, a) in live.iter().enumerate() {
             for (j, b) in live.iter().enumerate() {
                 if i == j {
@@ -380,11 +380,7 @@ mod tests {
             .map(|(s, _)| tree.code(s as Symbol).unwrap().len)
             .collect();
         assert_eq!(lens[0], 1);
-        let total: u64 = freqs
-            .iter()
-            .zip(&lens)
-            .map(|(&f, &l)| f * l as u64)
-            .sum();
+        let total: u64 = freqs.iter().zip(&lens).map(|(&f, &l)| f * l as u64).sum();
         assert_eq!(total, 224); // known optimum for this distribution
     }
 

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         for width in [1usize, 5, 17, 32, 33, 63, 64] {
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let vals: Vec<u64> = (0..300u64)
                 .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & mask)
                 .collect();

@@ -169,7 +169,9 @@ impl BitRank for RankBitVec {
 
 impl SpaceUsage for RankBitVec {
     fn size_in_bytes(&self) -> usize {
-        self.bits.size_in_bytes() + self.super_ranks.capacity() * 8 + self.block_ranks.capacity() * 4
+        self.bits.size_in_bytes()
+            + self.super_ranks.capacity() * 8
+            + self.block_ranks.capacity() * 4
     }
 }
 
@@ -191,7 +193,9 @@ mod tests {
         let mut b = BitBuf::new();
         let mut x = 0x9e37_79b9u64;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             b.push(x % 100 < density_mod);
         }
         b

@@ -91,7 +91,13 @@ fn encode_block(block: u64, b: usize, mut c: usize, binom: &BinomialTable) -> u6
 /// `(c, offset)`. `p <= b`. Runs in `O(p)` — the `O(b)` in-block rank of the
 /// paper's practical RRR.
 #[inline]
-fn decode_prefix_rank(mut offset: u64, b: usize, mut c: usize, p: usize, binom: &BinomialTable) -> usize {
+fn decode_prefix_rank(
+    mut offset: u64,
+    b: usize,
+    mut c: usize,
+    p: usize,
+    binom: &BinomialTable,
+) -> usize {
     let mut ones = 0usize;
     for pos in 0..p {
         if c == 0 {
@@ -234,7 +240,8 @@ impl RrrBitVec {
 
     #[inline]
     fn class_of(&self, blk: usize) -> usize {
-        self.classes.get_bits(blk * self.class_width, self.class_width) as usize
+        self.classes
+            .get_bits(blk * self.class_width, self.class_width) as usize
     }
 
     /// Walk blocks from the preceding sample to block `target_blk`, returning
@@ -328,7 +335,9 @@ mod tests {
         let mut b = BitBuf::new();
         let mut x = seed | 1;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             b.push((x >> 33) % 100 < density_pct);
         }
         b

@@ -193,7 +193,11 @@ mod tests {
         v.persist(&mut buf).expect("write");
         let mut cur = io::Cursor::new(buf);
         let back = T::restore(&mut cur).expect("read");
-        assert_eq!(cur.position() as usize, cur.get_ref().len(), "trailing bytes");
+        assert_eq!(
+            cur.position() as usize,
+            cur.get_ref().len(),
+            "trailing bytes"
+        );
         back
     }
 

@@ -95,9 +95,9 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
         let mut owned: Vec<Vec<Symbol>> = vec![Vec::new(); n_nodes];
         {
             let fill_node = |node: usize,
-                                 node_seq: &[Symbol],
-                                 raw: &mut Vec<BitBuf>,
-                                 owned: &mut Vec<Vec<Symbol>>| {
+                             node_seq: &[Symbol],
+                             raw: &mut Vec<BitBuf>,
+                             owned: &mut Vec<Vec<Symbol>>| {
                 let (l, r) = tree.nodes[node];
                 let depth = depths[node];
                 let bits = &mut raw[node];
@@ -291,7 +291,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 // Skewed: favour small symbols (like RML labels).
                 let r = (x >> 33) as u32;
                 (r % sigma).min(r % (sigma / 2 + 1))

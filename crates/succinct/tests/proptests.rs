@@ -14,10 +14,7 @@ fn bits_strategy() -> impl Strategy<Value = Vec<bool>> {
 fn biased_bits_strategy() -> impl Strategy<Value = Vec<bool>> {
     // Density parameter exercises RRR's class skew handling.
     (0u32..=100).prop_flat_map(|density| {
-        proptest::collection::vec(
-            proptest::bool::weighted(density as f64 / 100.0),
-            0..2000,
-        )
+        proptest::collection::vec(proptest::bool::weighted(density as f64 / 100.0), 0..2000)
     })
 }
 

@@ -6,7 +6,7 @@
 
 use cinct::CinctIndex;
 use cinct_compressors::{bwz, lz, mel::Mel, repair, sp};
-use cinct_fmindex::PatternIndex;
+use cinct_fmindex::PathQuery;
 
 fn main() {
     let ds = cinct_datasets::roma(0.15);
@@ -26,7 +26,10 @@ fn main() {
         stream.push(sep);
     }
 
-    println!("{:<22} {:>8} {:>10} {:>18}", "Method", "ratio", "KiB", "supports queries?");
+    println!(
+        "{:<22} {:>8} {:>10} {:>18}",
+        "Method", "ratio", "KiB", "supports queries?"
+    );
     println!("{}", "-".repeat(62));
 
     // CiNCT: compression AND sublinear pattern matching.
@@ -48,7 +51,12 @@ fn main() {
     let bytes = cinct_compressors::as_byte_stream(&stream);
     let bz = bwz::compress(&bytes);
     assert_eq!(bwz::decompress(&bz), bytes, "bwz roundtrip");
-    print_row("bzip2-like (BWT+MTF)", n, bz.compressed_size().total_bits(), "no");
+    print_row(
+        "bzip2-like (BWT+MTF)",
+        n,
+        bz.compressed_size().total_bits(),
+        "no",
+    );
 
     // PRESS-like shortest-path coding.
     let sp_size = sp::compressed_size(&ds.network, &ds.trajectories);

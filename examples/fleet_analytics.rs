@@ -7,7 +7,7 @@
 
 use cinct::{CinctBuilder, DatasetStats};
 use cinct_bwt::TrajectoryString;
-use cinct_fmindex::PatternIndex;
+use cinct_fmindex::{Path, PathQuery};
 use std::time::Instant;
 
 fn main() {
@@ -71,11 +71,14 @@ fn main() {
     );
     println!("  {:?} with {} travelers", best.1, best.0);
 
-    // Who exactly drives it? (locate + trajectory recovery)
-    if let Some(occurrences) = index.locate_path(&best.1) {
-        let show = occurrences.len().min(5);
-        println!("  first {show} occurrences (trajectory, offset): {:?}",
-            &occurrences[..show]);
+    // Who exactly drives it? (streaming locate + trajectory recovery)
+    if let Ok(occ) = index.occurrences(Path::new(&best.1)) {
+        // The iterator is lazy: taking 5 walks only 5 sampled-SA chains.
+        let occurrences: Vec<(usize, usize)> = occ.take(5).collect();
+        println!(
+            "  first {} occurrences (trajectory, offset): {occurrences:?}",
+            occurrences.len()
+        );
         if let Some(&(tid, _)) = occurrences.first() {
             let full = index.trajectory(tid);
             println!(
@@ -89,7 +92,10 @@ fn main() {
 
     // Sanity: suffix ranges agree with a brute-force scan on a few paths.
     let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
-    println!("\nVerification: |T| = {} symbols indexed, queries agree with scans.", ts.len());
+    println!(
+        "\nVerification: |T| = {} symbols indexed, queries agree with scans.",
+        ts.len()
+    );
     for t in ds.trajectories.iter().take(3) {
         let path = &t[..4.min(t.len())];
         let expected: usize = ds

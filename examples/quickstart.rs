@@ -1,11 +1,12 @@
 //! Quickstart: build a CiNCT index over a handful of trajectories and run
-//! the two core queries — path counting (suffix range) and sub-path
-//! extraction.
+//! the three core queries through the unified `PathQuery` API — counting
+//! (suffix range), streaming occurrence listing, and sub-path extraction —
+//! plus a batch through the `QueryEngine`.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use cinct::CinctIndex;
-use cinct_fmindex::PatternIndex;
+use cinct::engine::{Query, QueryEngine};
+use cinct::{CinctBuilder, Path, PathQuery, QueryError};
 
 fn main() {
     // The paper's running example (Fig. 1): a toy network with six road
@@ -18,31 +19,78 @@ fn main() {
     ];
     let n_road_segments = 6;
 
-    let index = CinctIndex::build(&trajectories, n_road_segments);
+    // `locate_sampling` adds the sampled suffix array that occurrence
+    // listing needs; `build` alone gives a smaller count-only index.
+    let index = CinctBuilder::new()
+        .locate_sampling(4)
+        .build(&trajectories, n_road_segments);
 
-    println!("Indexed {} trajectories over {} road segments",
-        index.num_trajectories(), index.network_edges());
-    println!("Index size: {} bytes ({:.2} bits/symbol)\n",
-        index.size_in_bytes(), index.bits_per_symbol());
+    println!(
+        "Indexed {} trajectories over {} road segments",
+        index.num_trajectories(),
+        index.network_edges()
+    );
+    println!(
+        "Index size: {} bytes ({:.2} bits/symbol)\n",
+        index.size_in_bytes(),
+        index.bits_per_symbol()
+    );
 
     // Pattern matching: which trajectories travel the path A → B?
-    let path = vec![0, 1];
-    let range = index.path_range(&path).expect("path occurs");
-    println!("Path A->B: suffix range {range:?}, {} travelers", range.len());
+    let path = Path::new(&[0, 1]);
+    let range = index.range(path).expect("path occurs");
+    println!(
+        "Path A->B: suffix range {range:?}, {} travelers",
+        range.len()
+    );
     assert_eq!(range, 9..11); // matches the paper's Fig. 2 worked example
 
-    // Counting other paths.
+    // Counting other paths. An absent path is a zero count, not an error.
     for (label, path) in [
         ("B->C", vec![1, 2]),
         ("A->B->E->F", vec![0, 1, 4, 5]),
         ("D->A (never driven)", vec![3, 0]),
     ] {
-        println!("Path {label}: {} travelers", index.count_path(&path));
+        println!("Path {label}: {} travelers", index.count(Path::new(&path)));
     }
+
+    // Occurrence listing streams (trajectory, offset) pairs lazily off
+    // sampled-suffix-array walks — no intermediate Vec.
+    let occurrences = index.occurrences(path).expect("built with locate");
+    println!("\nWho travels A->B, and where in their trip?");
+    for (trajectory, offset) in occurrences {
+        println!("  trajectory {trajectory} @ edge offset {offset}");
+    }
+
+    // Malformed queries are typed errors — distinct from absent paths.
+    assert_eq!(
+        index.occurrences(Path::new(&[99])).err(),
+        Some(QueryError::UnknownEdge {
+            edge: 99,
+            n_edges: 6
+        })
+    );
 
     // Decompression: recover stored trajectories from the index alone.
     println!();
     for id in 0..index.num_trajectories() {
         println!("trajectory {id}: {:?}", index.trajectory(id));
     }
+
+    // Batches of heterogeneous queries run through the engine, which works
+    // over any backend (CiNCT or the five baseline FM-indexes) and reports
+    // per-query results plus timing.
+    let engine = QueryEngine::new(&index);
+    let report = engine.run(&[
+        Query::count(&[0, 1]),
+        Query::occurrences(&[1, 2]),
+        Query::range(&[0, 3]),
+    ]);
+    println!(
+        "\nEngine batch: {} queries, {} hits, {} matches, {:.1} us/query",
+        report.outcomes.len(),
+        report.hits(),
+        report.total_matches(),
+        report.mean_us()
+    );
 }

@@ -7,6 +7,7 @@
 //! Run: `cargo run --release --example strict_path`
 
 use cinct::{StrictPathQuery, TemporalCinct, TimestampedTrajectory};
+
 use cinct_network::WalkConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,17 +54,22 @@ fn main() {
     let probe = &data[3];
     let path = probe.edges[2..6].to_vec();
 
-    // All-day query vs morning-rush window.
-    let all_day = index.strict_path(&StrictPathQuery {
-        path: path.clone(),
-        t_begin: 0,
-        t_end: u64::MAX,
-    });
-    let rush = index.strict_path(&StrictPathQuery {
-        path: path.clone(),
-        t_begin: 7 * 3600,
-        t_end: 9 * 3600,
-    });
+    // All-day query vs morning-rush window. Queries stream their matches
+    // (`strict_path_iter`); the eager variant collects and sorts them.
+    let all_day = index
+        .strict_path(&StrictPathQuery {
+            path: path.clone(),
+            t_begin: 0,
+            t_end: u64::MAX,
+        })
+        .expect("well-formed query");
+    let rush = index
+        .strict_path(&StrictPathQuery {
+            path: path.clone(),
+            t_begin: 7 * 3600,
+            t_end: 9 * 3600,
+        })
+        .expect("well-formed query");
     println!("Path {path:?}:");
     println!("  traveled {} times over the whole day", all_day.len());
     println!("  {} of those within 07:00-09:00", rush.len());

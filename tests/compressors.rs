@@ -6,7 +6,7 @@
 use cinct::{CinctIndex, LabelingStrategy, Rml};
 use cinct_bwt::{bwt, entropy_h0, CArray, TrajectoryString};
 use cinct_compressors::{bwz, lz, mel::Mel, repair, sp};
-use cinct_fmindex::PatternIndex;
+use cinct_fmindex::PathQuery;
 
 fn flat_stream(ds: &cinct_datasets::Dataset) -> Vec<u32> {
     let sep = ds.n_edges() as u32;

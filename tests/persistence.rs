@@ -1,8 +1,8 @@
 //! Whole-index persistence: save a built CiNCT index to bytes (or disk),
-//! reload it, and verify every query path behaves identically.
+//! reload it, and verify every query path behaves identically — plus the
+//! typed-error contract for corrupt and truncated streams.
 
-use cinct::{CinctBuilder, CinctIndex};
-use cinct_fmindex::PatternIndex;
+use cinct::{CinctBuilder, CinctIndex, Path, PathQuery, QueryError};
 
 fn roundtrip(idx: &CinctIndex) -> CinctIndex {
     let mut buf = Vec::new();
@@ -18,7 +18,7 @@ fn paper_example_roundtrip() {
     let trajs = vec![vec![0u32, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
     let idx = CinctIndex::build(&trajs, 6);
     let back = roundtrip(&idx);
-    assert_eq!(back.len(), idx.len());
+    assert_eq!(back.text_len(), idx.text_len());
     assert_eq!(back.num_trajectories(), 4);
     for a in 0..6u32 {
         for b in 0..6u32 {
@@ -40,13 +40,16 @@ fn dataset_roundtrip_with_locate() {
         .build(&ds.trajectories, ds.n_edges());
     let back = roundtrip(&idx);
     assert_eq!(back.locate_sampling_rate(), Some(16));
-    // Queries, extraction and locate agree after the roundtrip.
+    // Queries, extraction and occurrence listing agree after the roundtrip.
     for t in ds.trajectories.iter().take(20) {
-        let path = &t[..4.min(t.len())];
-        assert_eq!(back.path_range(path), idx.path_range(path));
-        assert_eq!(back.locate_path(path), idx.locate_path(path));
+        let path = Path::new(&t[..4.min(t.len())]);
+        assert_eq!(back.range(path), idx.range(path));
+        assert_eq!(
+            back.occurrences(path).expect("locate").collect_sorted(),
+            idx.occurrences(path).expect("locate").collect_sorted()
+        );
     }
-    for j in (0..idx.len()).step_by(997) {
+    for j in (0..idx.text_len()).step_by(997) {
         assert_eq!(back.extract(j, 5), idx.extract(j, 5));
         assert_eq!(back.locate(j), idx.locate(j));
     }
@@ -68,14 +71,33 @@ fn file_roundtrip() {
 }
 
 #[test]
-fn rejects_garbage() {
+fn rejects_garbage_with_corrupt_index() {
     let mut cur = std::io::Cursor::new(vec![0u8; 64]);
-    assert!(CinctIndex::read_from(&mut cur).is_err());
-    // Truncated real data.
+    assert_eq!(
+        CinctIndex::read_from(&mut cur).err(),
+        Some(QueryError::CorruptIndex(
+            "not a CiNCT index (bad magic)".into()
+        ))
+    );
+}
+
+#[test]
+fn truncated_stream_is_an_io_error() {
     let trajs = vec![vec![0u32, 1], vec![1, 0]];
     let idx = CinctIndex::build(&trajs, 2);
     let mut buf = Vec::new();
     idx.write_to(&mut buf).unwrap();
-    buf.truncate(buf.len() / 2);
-    assert!(CinctIndex::read_from(&mut std::io::Cursor::new(buf)).is_err());
+    // Every truncation point must fail loudly with a typed error — never
+    // panic, never hand back a half-built index.
+    for cut in [1usize, 4, 8, buf.len() / 2, buf.len() - 1] {
+        let mut short = buf.clone();
+        short.truncate(cut);
+        match CinctIndex::read_from(&mut std::io::Cursor::new(short)) {
+            Err(QueryError::Io(msg)) => {
+                assert!(msg.contains("UnexpectedEof"), "cut at {cut}: {msg}")
+            }
+            Err(QueryError::CorruptIndex(_)) => {} // structurally invalid prefix
+            other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+        }
+    }
 }

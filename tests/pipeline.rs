@@ -5,7 +5,7 @@
 use cinct::{CinctBuilder, CinctIndex};
 use cinct_bench_free::sample_paths;
 use cinct_bwt::TrajectoryString;
-use cinct_fmindex::{PatternIndex, Ufmi};
+use cinct_fmindex::{Path, PathQuery, Ufmi};
 
 /// Local pattern sampler (the bench crate is not a dependency of the
 /// umbrella crate; integration tests keep their own tiny copy).
@@ -124,7 +124,7 @@ fn extraction_recovers_every_trajectory() {
 }
 
 #[test]
-fn locate_path_matches_brute_force() {
+fn occurrences_match_brute_force() {
     let ds = cinct_datasets::roma(0.02);
     let idx = CinctBuilder::new()
         .locate_sampling(16)
@@ -138,7 +138,10 @@ fn locate_path_matches_brute_force() {
                 }
             }
         }
-        let got = idx.locate_path(&path).expect("locate enabled");
+        let got = idx
+            .occurrences(Path::new(&path))
+            .expect("locate enabled")
+            .collect_sorted();
         assert_eq!(got, expected, "path {path:?}");
     }
 }
@@ -159,7 +162,11 @@ fn block_sizes_and_labelings_agree_on_real_data() {
     for path in sample_paths(&ds.trajectories, 3, 20) {
         let reference = indexes[0].path_range(&path);
         for (i, idx) in indexes.iter().enumerate().skip(1) {
-            assert_eq!(idx.path_range(&path), reference, "variant {i} path {path:?}");
+            assert_eq!(
+                idx.path_range(&path),
+                reference,
+                "variant {i} path {path:?}"
+            );
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Property-based integration tests (proptest): the paper's theorems and
 //! structural invariants over randomly generated trajectory corpora.
 
-use cinct::{CinctBuilder, CinctIndex, LabelingStrategy, Rml};
+use cinct::{CinctBuilder, CinctIndex, LabelingStrategy, Path, PathQuery, QueryError, Rml};
 use cinct_bwt::{bwt, entropy_h0, CArray, TrajectoryString};
-use cinct_fmindex::{PatternIndex, Ufmi};
+use cinct_fmindex::Ufmi;
 use proptest::prelude::*;
 
 /// Random corpora: up to 12 trajectories of 1..20 edges over a small
@@ -11,12 +11,10 @@ use proptest::prelude::*;
 /// pseudo-random successors) so the ET-graph stays sparse like real data.
 fn corpus_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
     let n_edges = 12usize;
-    (
-        proptest::collection::vec(
-            (0u32..n_edges as u32, 1usize..20, any::<u64>()),
-            1..12,
-        ),
-    )
+    (proptest::collection::vec(
+        (0u32..n_edges as u32, 1usize..20, any::<u64>()),
+        1..12,
+    ),)
         .prop_map(move |(specs,)| {
             let trajs: Vec<Vec<u32>> = specs
                 .into_iter()
@@ -142,5 +140,69 @@ proptest! {
         let idx = CinctBuilder::new().locate_sampling(8).build(&trajs, n_edges);
         prop_assert!(idx.size_without_et_graph() <= idx.core_size_in_bytes());
         prop_assert!(idx.directory_size_in_bytes() > 0);
+    }
+
+    /// The streaming `occurrences()` iterator yields exactly what the
+    /// legacy eager `locate_path` returned — and both match brute force —
+    /// on arbitrary corpora, paths, and sampling rates.
+    #[test]
+    #[allow(deprecated)]
+    fn occurrences_equal_legacy_locate(
+        (trajs, n_edges) in corpus_strategy(),
+        plen in 1usize..5,
+        rate in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let idx = CinctBuilder::new().locate_sampling(rate).build(&trajs, n_edges);
+        let mut probes: Vec<Vec<u32>> = Vec::new();
+        for t in trajs.iter().take(4) {
+            if t.len() >= plen {
+                probes.push(t[..plen].to_vec());
+                probes.push(t[t.len() - plen..].to_vec());
+            }
+        }
+        probes.push((0..plen as u32).collect());
+        for path in probes {
+            let streamed = idx
+                .occurrences(Path::new(&path))
+                .expect("locate enabled")
+                .collect_sorted();
+            let legacy = idx.locate_path(&path).expect("locate enabled");
+            prop_assert_eq!(&streamed, &legacy, "path {:?}", path);
+            // Both equal brute force.
+            let mut expected = Vec::new();
+            for (tid, t) in trajs.iter().enumerate() {
+                for off in 0..t.len().saturating_sub(plen - 1) {
+                    if t[off..off + plen] == path[..] {
+                        expected.push((tid, off));
+                    }
+                }
+            }
+            prop_assert_eq!(streamed, expected, "path {:?}", path);
+        }
+    }
+
+    /// Error paths: no SA samples → LocateUnsupported for any well-formed
+    /// path; out-of-alphabet edges → UnknownEdge everywhere.
+    #[test]
+    fn error_paths_are_typed((trajs, n_edges) in corpus_strategy(), bad_edge in 12u32..1000) {
+        let count_only = CinctIndex::build(&trajs, n_edges);
+        prop_assert_eq!(
+            count_only.occurrences(Path::new(&[0])).err(),
+            Some(QueryError::LocateUnsupported)
+        );
+        let bad = [0u32, bad_edge];
+        prop_assert_eq!(
+            count_only.try_range(Path::new(&bad)).err(),
+            Some(QueryError::UnknownEdge { edge: bad_edge, n_edges })
+        );
+        // `range` treats the same path as merely absent.
+        prop_assert_eq!(count_only.range(Path::new(&bad)), None);
+        // Builder-level validation rejects the same edge at build time.
+        let mut poisoned = trajs.clone();
+        poisoned.push(vec![bad_edge]);
+        prop_assert_eq!(
+            CinctBuilder::new().try_build(&poisoned, n_edges).err(),
+            Some(QueryError::UnknownEdge { edge: bad_edge, n_edges })
+        );
     }
 }
