@@ -7,6 +7,11 @@
 //! suite runs on a laptop. Absolute numbers will differ from the paper's
 //! testbed; the comparisons (who wins, by roughly what factor) are the
 //! reproduction target — see `EXPERIMENTS.md`.
+//!
+//! The `hotpath` binary is different in kind: it measures the *repo's own*
+//! optimized query path against the seed-equivalent reference path in one
+//! build and emits the recorded baseline `BENCH_PR3.json`; its protocol
+//! and cost model are documented in the repository's `PERFORMANCE.md`.
 
 pub mod report;
 pub mod variants;

@@ -5,13 +5,55 @@
 //! read directly off the suffix array: `T_bwt[i] = T[(SA[i] + n − 1) mod n]`.
 
 use crate::sais::suffix_array;
+use cinct_succinct::{BitBuf, BitRank, IntVec, RankBitVec, SpaceUsage};
 
 /// Cumulative symbol counts: `C[w]` = number of symbols in `T` smaller than
 /// `w`. `[C[w], C[w+1])` is the suffix range `R(w)` of the single-symbol
 /// pattern `w`, and context blocks of the BWT align with these ranges.
+///
+/// Besides the counts the struct can carry a rank-backed *boundary
+/// accelerator* (`O(1)` [`CArray::symbol_at`]): a bit vector marking the
+/// start position `C[w]` of every nonempty symbol range, plus the packed
+/// list of those symbols in order. `symbol_at` is the context lookup of
+/// every LF-mapping step (paper Algorithm 4 Line 1), so extract / locate /
+/// trajectory-recovery walks pay it once per step — the seed's per-step
+/// `O(log σ)` binary search was the dominant non-rank cost there. The
+/// accelerator is built lazily on the first `symbol_at` call (≈ 1.07 bits
+/// per indexed symbol), so consumers that never ask for contexts — the
+/// baseline FM-indexes, `inverse_bwt` — pay nothing for it.
 #[derive(Clone, Debug)]
 pub struct CArray {
     counts: Vec<u64>,
+    /// Lazily built `symbol_at` accelerator.
+    accel: std::sync::OnceLock<SymbolAtAccel>,
+}
+
+/// The `O(1)` `symbol_at` support structure.
+#[derive(Clone, Debug)]
+struct SymbolAtAccel {
+    /// Bit `C[w]` set for every `w` with `count(w) > 0` (length `n`).
+    bounds: RankBitVec,
+    /// The `k`-th symbol with a nonempty range, packed.
+    live: IntVec,
+}
+
+/// Build the `symbol_at` accelerator from finished cumulative counts.
+fn build_bounds(counts: &[u64]) -> SymbolAtAccel {
+    let sigma = counts.len() - 1;
+    let n = counts[sigma] as usize;
+    let mut bits = BitBuf::zeros(n);
+    let mut live = IntVec::with_capacity(IntVec::width_for(sigma.max(1) as u64), sigma.min(n));
+    for w in 0..sigma {
+        if counts[w + 1] > counts[w] {
+            bits.set(counts[w] as usize, true);
+            live.push(w as u64);
+        }
+    }
+    live.shrink_to_fit();
+    SymbolAtAccel {
+        bounds: RankBitVec::new(bits),
+        live,
+    }
 }
 
 impl CArray {
@@ -24,7 +66,10 @@ impl CArray {
         for i in 1..=sigma {
             counts[i] += counts[i - 1];
         }
-        Self { counts }
+        Self {
+            counts,
+            accel: std::sync::OnceLock::new(),
+        }
     }
 
     /// `C[w]`: the number of symbols smaller than `w`. `w` may be `sigma`.
@@ -51,17 +96,42 @@ impl CArray {
     }
 
     /// The symbol `w` whose range `[C[w], C[w+1])` contains BWT position `j`
-    /// — i.e. the first symbol of the `j`-th sorted rotation. Binary search,
-    /// as in Algorithm 4 Line 1.
+    /// — i.e. the first symbol of the `j`-th sorted rotation (Algorithm 4
+    /// Line 1). `O(1)` after the first call: one directory rank on the
+    /// (lazily built) boundary bit vector plus one packed-array load.
     #[inline]
     pub fn symbol_at(&self, j: usize) -> u32 {
+        debug_assert!(j < *self.counts.last().unwrap() as usize);
+        let accel = self.accel.get_or_init(|| build_bounds(&self.counts));
+        accel.live.get(accel.bounds.rank1(j + 1) - 1) as u32
+    }
+
+    /// The seed's `symbol_at`: binary search over the cumulative counts,
+    /// `O(log σ)`. Kept as the reference implementation for property tests
+    /// and the seed-equivalent bench path.
+    #[inline]
+    pub fn symbol_at_binsearch(&self, j: usize) -> u32 {
         debug_assert!(j < *self.counts.last().unwrap() as usize);
         (self.counts.partition_point(|&c| c <= j as u64) - 1) as u32
     }
 
-    /// Heap bytes.
+    /// Heap bytes of the counts — the paper's `C` array accounting
+    /// ((σ+1) machine words). The `symbol_at` accelerator is reported
+    /// separately by [`CArray::accel_size_in_bytes`].
     pub fn size_in_bytes(&self) -> usize {
         self.counts.capacity() * 8
+    }
+
+    /// Heap bytes of the `O(1)` `symbol_at` accelerator (boundary bit
+    /// vector + live-symbol list, ≈ 1.07 bits per indexed symbol; `0`
+    /// until the first `symbol_at` call builds it) — an engineering
+    /// addition beyond the paper's data structure, accounted like the
+    /// other API conveniences (trajectory directory, SA samples; see
+    /// `CinctIndex::directory_size_in_bytes`).
+    pub fn accel_size_in_bytes(&self) -> usize {
+        self.accel
+            .get()
+            .map_or(0, |a| a.bounds.size_in_bytes() + a.live.size_in_bytes())
     }
 
     /// The raw cumulative counts (persistence support).
@@ -70,11 +140,15 @@ impl CArray {
     }
 
     /// Reassemble from raw cumulative counts; `None` if not non-decreasing.
+    /// The `symbol_at` accelerator is derived state, rebuilt on demand.
     pub fn from_raw_counts(counts: Vec<u64>) -> Option<Self> {
         if counts.is_empty() || counts.windows(2).any(|w| w[1] < w[0]) {
             return None;
         }
-        Some(Self { counts })
+        Some(Self {
+            counts,
+            accel: std::sync::OnceLock::new(),
+        })
     }
 }
 
@@ -170,7 +244,26 @@ mod tests {
         for w in 0..8u32 {
             for j in c.symbol_range(w) {
                 assert_eq!(c.symbol_at(j), w, "j={j}");
+                assert_eq!(c.symbol_at_binsearch(j), w, "binsearch j={j}");
             }
+        }
+    }
+
+    #[test]
+    fn symbol_at_with_alphabet_gaps() {
+        // Symbols 3 and 6 never occur: their (empty) ranges collapse onto
+        // the next live symbol's boundary and must never be returned.
+        let text: Vec<u32> = vec![0, 7, 7, 1, 4, 4, 4, 5, 1, 0];
+        let c = CArray::new(&text, 9);
+        let n = *c.raw_counts().last().unwrap() as usize;
+        for j in 0..n {
+            assert_eq!(c.symbol_at(j), c.symbol_at_binsearch(j), "j={j}");
+        }
+        assert!(c.accel_size_in_bytes() > 0);
+        // Round-tripping through raw counts rebuilds the accelerator.
+        let back = CArray::from_raw_counts(c.raw_counts().to_vec()).unwrap();
+        for j in 0..n {
+            assert_eq!(back.symbol_at(j), c.symbol_at(j), "j={j}");
         }
     }
 

@@ -68,6 +68,24 @@ proptest! {
     }
 
     #[test]
+    fn symbol_at_matches_binary_search_reference(body in body_strategy()) {
+        // The O(1) rank-backed context lookup against the seed's binary
+        // search, over every position of a random text (alphabet gaps and
+        // skewed counts included).
+        let text = with_sentinel(&body);
+        let sigma = text.iter().copied().max().unwrap() as usize + 1;
+        let c = CArray::new(&text, sigma);
+        for j in 0..text.len() {
+            prop_assert_eq!(c.symbol_at(j), c.symbol_at_binsearch(j), "j={}", j);
+        }
+        // The accelerator survives a raw-counts roundtrip.
+        let back = CArray::from_raw_counts(c.raw_counts().to_vec()).unwrap();
+        for j in 0..text.len() {
+            prop_assert_eq!(back.symbol_at(j), c.symbol_at(j), "roundtrip j={}", j);
+        }
+    }
+
+    #[test]
     fn hk_never_exceeds_h0(body in body_strategy(), k in 1usize..4) {
         if body.len() > k + 1 {
             let h0 = entropy_h0(&body);

@@ -150,14 +150,75 @@ impl BatchReport {
 /// Evaluates query batches against one backend. Backend-agnostic: anything
 /// implementing [`PathQuery`] (CiNCT, the five baselines, the temporal
 /// index) plugs in through a trait object.
+///
+/// By default batches run sequentially on the caller's thread. Heavy
+/// traffic turns on the parallel mode with [`QueryEngine::parallel`]:
+/// the batch is split into one contiguous chunk per thread, evaluated on
+/// a rayon fork-join scope (indexes are immutable, so sharing the
+/// `&dyn PathQuery` is free), and reassembled **in input order** with
+/// per-query timings — the report is value- and order-identical to a
+/// sequential run, only wall-clock differs.
 pub struct QueryEngine<'a> {
     backend: &'a dyn PathQuery,
+    n_threads: usize,
+}
+
+/// Evaluate one query against a backend (shared by the sequential loop and
+/// the per-thread chunk workers).
+fn evaluate(backend: &dyn PathQuery, query: &Query) -> QueryOutcome {
+    let t0 = Instant::now();
+    let value = match query {
+        Query::Count(path) => backend
+            .try_range(Path::new(path))
+            .map(|r| QueryValue::Count(r.map_or(0, |r| r.len()))),
+        Query::Range(path) => backend.try_range(Path::new(path)).map(QueryValue::Range),
+        Query::Occurrences(path) => backend
+            .occurrences(Path::new(path))
+            .map(|it| QueryValue::Occurrences(it.collect_sorted())),
+        Query::Extract { row, len } => {
+            let n = backend.text_len();
+            if *row >= n {
+                Err(QueryError::InvalidInput(format!(
+                    "extract row {row} out of range (text length {n})"
+                )))
+            } else {
+                Ok(QueryValue::Extract(
+                    cinct_fmindex::ExtractIter::new(backend, *row, *len).collect_forward(),
+                ))
+            }
+        }
+    };
+    QueryOutcome {
+        value,
+        elapsed: t0.elapsed(),
+    }
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Wrap a backend.
+    /// Wrap a backend (sequential evaluation).
     pub fn new(backend: &'a (dyn PathQuery + 'a)) -> Self {
-        QueryEngine { backend }
+        QueryEngine {
+            backend,
+            n_threads: 1,
+        }
+    }
+
+    /// Evaluate batches on up to `n_threads` threads. `0` means "use the
+    /// machine's available parallelism"; `1` restores the deterministic
+    /// sequential path. Parallel runs return outcomes in input order with
+    /// values identical to a sequential run.
+    pub fn parallel(mut self, n_threads: usize) -> Self {
+        self.n_threads = if n_threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            n_threads
+        };
+        self
+    }
+
+    /// The configured thread budget (1 = sequential).
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
     }
 
     /// The wrapped backend.
@@ -167,51 +228,39 @@ impl<'a> QueryEngine<'a> {
 
     /// Evaluate one query.
     pub fn run_one(&self, query: &Query) -> QueryOutcome {
-        let t0 = Instant::now();
-        let value = match query {
-            Query::Count(path) => self
-                .backend
-                .try_range(Path::new(path))
-                .map(|r| QueryValue::Count(r.map_or(0, |r| r.len()))),
-            Query::Range(path) => self
-                .backend
-                .try_range(Path::new(path))
-                .map(QueryValue::Range),
-            Query::Occurrences(path) => self
-                .backend
-                .occurrences(Path::new(path))
-                .map(|it| QueryValue::Occurrences(it.collect_sorted())),
-            Query::Extract { row, len } => {
-                let n = self.backend.text_len();
-                if *row >= n {
-                    Err(QueryError::InvalidInput(format!(
-                        "extract row {row} out of range (text length {n})"
-                    )))
-                } else {
-                    Ok(QueryValue::Extract(
-                        cinct_fmindex::ExtractIter::new(self.backend, *row, *len).collect_forward(),
-                    ))
-                }
-            }
-        };
-        QueryOutcome {
-            value,
-            elapsed: t0.elapsed(),
-        }
+        evaluate(self.backend, query)
     }
 
-    /// Evaluate a slice of queries, returning per-query results + timing.
+    /// Evaluate a slice of queries, returning per-query results + timing
+    /// in input order. Uses the parallel fork-join path when configured
+    /// with [`QueryEngine::parallel`] and the batch is large enough to
+    /// split; otherwise the sequential loop.
     pub fn run(&self, queries: &[Query]) -> BatchReport {
-        let mut report = BatchReport {
-            outcomes: Vec::with_capacity(queries.len()),
-            elapsed: Duration::ZERO,
+        let outcomes = if self.n_threads > 1 && queries.len() > 1 {
+            self.run_chunked(queries)
+        } else {
+            queries.iter().map(|q| self.run_one(q)).collect()
         };
-        for q in queries {
-            let outcome = self.run_one(q);
-            report.elapsed += outcome.elapsed;
-            report.outcomes.push(outcome);
-        }
-        report
+        let elapsed = outcomes.iter().map(|o| o.elapsed).sum();
+        BatchReport { outcomes, elapsed }
+    }
+
+    /// Fan the batch out as one contiguous chunk per thread; chunk results
+    /// land in pre-split slots, so reassembly preserves input order without
+    /// any post-sort.
+    fn run_chunked(&self, queries: &[Query]) -> Vec<QueryOutcome> {
+        let chunk_len = queries.len().div_ceil(self.n_threads);
+        let mut chunk_outcomes: Vec<Vec<QueryOutcome>> = Vec::new();
+        chunk_outcomes.resize_with(queries.len().div_ceil(chunk_len), Vec::new);
+        let backend = self.backend;
+        rayon::scope(|s| {
+            for (chunk, out) in queries.chunks(chunk_len).zip(chunk_outcomes.iter_mut()) {
+                s.spawn(move |_| {
+                    *out = chunk.iter().map(|q| evaluate(backend, q)).collect();
+                });
+            }
+        });
+        chunk_outcomes.into_iter().flatten().collect()
     }
 }
 
@@ -283,6 +332,68 @@ mod tests {
             Err(QueryError::InvalidInput(_))
         ));
         assert_eq!(report.outcomes[4].value, Ok(QueryValue::Count(2)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_mixed_10k() {
+        // Acceptance gate: a 10k mixed batch (counts, ranges, occurrence
+        // listings, extractions, malformed queries) must produce
+        // bit-identical outcomes — order and values — at every thread
+        // count, including typed per-query errors.
+        let idx = CinctBuilder::new()
+            .locate_sampling(2)
+            .build(&paper_trajs(), 6);
+        let n = idx.text_len();
+        let mut x = 1u64;
+        let queries: Vec<Query> = (0..10_000)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // % 7 occasionally lands on edge 6 (unknown): error arm.
+                let a = ((x >> 33) % 7) as u32;
+                let b = ((x >> 43) % 7) as u32;
+                match i % 5 {
+                    0 => Query::count(&[a, b]),
+                    1 => Query::range(&[a]),
+                    2 => Query::occurrences(&[a, b]),
+                    3 => Query::extract(i % n, 4),
+                    _ => Query::count(&[a]),
+                }
+            })
+            .collect();
+        let sequential = QueryEngine::new(&idx).run(&queries);
+        assert!(sequential.errors() > 0, "mixed batch should include errors");
+        for threads in [2usize, 3, 8, 0] {
+            let parallel = QueryEngine::new(&idx).parallel(threads).run(&queries);
+            assert_eq!(parallel.outcomes.len(), sequential.outcomes.len());
+            for (i, (p, s)) in parallel
+                .outcomes
+                .iter()
+                .zip(&sequential.outcomes)
+                .enumerate()
+            {
+                assert_eq!(p.value, s.value, "query {i} at {threads} threads");
+            }
+            assert_eq!(parallel.hits(), sequential.hits());
+            assert_eq!(parallel.total_matches(), sequential.total_matches());
+            assert_eq!(parallel.errors(), sequential.errors());
+        }
+    }
+
+    #[test]
+    fn parallel_knob_defaults() {
+        let idx = CinctIndex::build(&paper_trajs(), 6);
+        assert_eq!(QueryEngine::new(&idx).n_threads(), 1);
+        assert_eq!(QueryEngine::new(&idx).parallel(4).n_threads(), 4);
+        assert!(QueryEngine::new(&idx).parallel(0).n_threads() >= 1);
+        // Tiny batches still work in parallel mode (fewer chunks than
+        // threads).
+        let report = QueryEngine::new(&idx)
+            .parallel(8)
+            .run(&[Query::count(&[0, 1]), Query::count(&[1, 2])]);
+        assert_eq!(report.outcomes[0].value, Ok(QueryValue::Count(2)));
+        assert_eq!(report.outcomes[1].value, Ok(QueryValue::Count(2)));
     }
 
     #[test]

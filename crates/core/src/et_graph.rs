@@ -120,6 +120,27 @@ impl EtGraph {
             .map(|p| p as u32 + 1)
     }
 
+    /// `(φ(w|w′), Z_{w′w})` in one adjacency-row scan — every backward
+    /// search step needs both, and [`EtGraph::label`] + [`EtGraph::z_term`]
+    /// would recompute the same CSR row base twice.
+    #[inline]
+    pub fn label_and_z(&self, w: u32, w_prime: u32) -> Option<(u32, i64)> {
+        let lo = self.offsets[w_prime as usize] as usize;
+        let hi = self.offsets[w_prime as usize + 1] as usize;
+        for k in lo..hi {
+            if self.targets.get(k) as u32 == w {
+                let z = if self.z_terms.is_empty() {
+                    0
+                } else {
+                    let enc = self.z_terms.get(k);
+                    ((enc >> 1) as i64) ^ -((enc & 1) as i64)
+                };
+                return Some(((k - lo) as u32 + 1, z));
+            }
+        }
+        None
+    }
+
     /// Decode: the symbol `w` with `φ(w|w′) = label`. Inverse of
     /// [`EtGraph::label`].
     #[inline]

@@ -12,8 +12,10 @@ use cinct_succinct::{
 use std::io::{Read, Write};
 use std::ops::Range;
 
-/// Magic + version header for persisted indexes.
-const MAGIC: u64 = 0x4349_4e43_5431_0001; // "CINCT1" + version 1
+/// Magic + version header for persisted indexes. Version 2: the RRR
+/// payload dropped its persisted sample arrays (the rank directory is
+/// rebuilt on load).
+const MAGIC: u64 = 0x4349_4e43_5431_0002; // "CINCT1" + version 2
 
 /// Optional locate support: a sampled suffix array lets the index map BWT
 /// rows back to text positions (needed by `locate`/strict-path queries).
@@ -98,7 +100,16 @@ impl CinctIndex {
 
     /// `LabeledSearchFM` (paper Algorithm 3): backward search where each
     /// rank is a PseudoRank, consuming pattern symbols last-to-first.
-    fn labeled_search(&self, mut symbols: impl Iterator<Item = Symbol>) -> Option<Range<usize>> {
+    /// Parameterized over the per-step primitives — label/Z lookup and the
+    /// paired rank (each step ranks `sp` and `ep` together) — so the
+    /// optimized and seed-equivalent paths share one search loop while
+    /// each keeps its own lookup pattern.
+    fn labeled_search_with(
+        &self,
+        mut symbols: impl Iterator<Item = Symbol>,
+        label_and_z: impl Fn(Symbol, Symbol) -> Option<(u32, i64)>,
+        rank_pair: impl Fn(Symbol, usize, usize) -> (usize, usize),
+    ) -> Option<Range<usize>> {
         let Some(mut w_prev) = symbols.next() else {
             return Some(0..self.labeled.len());
         };
@@ -114,10 +125,10 @@ impl CinctIndex {
             if w as usize >= self.sigma() {
                 return None;
             }
-            let label = self.rml.label(w, w_prev)?; // Line 5-6: NotFound
-            let z = self.rml.graph().z_term(label, w_prev);
-            sp = (self.c.get(w) as i64 + self.labeled.rank(label, sp) as i64 - z) as usize;
-            ep = (self.c.get(w) as i64 + self.labeled.rank(label, ep) as i64 - z) as usize;
+            let (label, z) = label_and_z(w, w_prev)?; // Line 5-6: NotFound
+            let (rsp, rep) = rank_pair(label, sp, ep);
+            sp = (self.c.get(w) as i64 + rsp as i64 - z) as usize;
+            ep = (self.c.get(w) as i64 + rep as i64 - z) as usize;
             w_prev = w;
         }
         if sp < ep {
@@ -125,6 +136,14 @@ impl CinctIndex {
         } else {
             None
         }
+    }
+
+    fn labeled_search(&self, symbols: impl Iterator<Item = Symbol>) -> Option<Range<usize>> {
+        self.labeled_search_with(
+            symbols,
+            |w, w_prev| self.rml.label_and_z(w, w_prev),
+            |label, i, j| self.labeled.rank_pair(label, i, j),
+        )
     }
 
     /// Suffix range query over an **encoded** pattern. Most callers want
@@ -146,14 +165,16 @@ impl CinctIndex {
     }
 
     /// One LF-mapping step simulated with PseudoRank (the loop body of
-    /// Algorithm 4): returns `(T_bwt[j] decoded, LF(j))`.
+    /// Algorithm 4): returns `(T_bwt[j] decoded, LF(j))`. The context is
+    /// an `O(1)` boundary-rank lookup and the label + its rank come from
+    /// one fused wavelet descent ([`SymbolSeq::access_and_rank`]).
     #[inline]
     pub fn lf_step(&self, j: usize) -> (Symbol, usize) {
-        let w_prime = self.c.symbol_at(j); // context via binary search
-        let label = self.labeled.access(j);
+        let w_prime = self.c.symbol_at(j);
+        let (label, rank) = self.labeled.access_and_rank(j);
         let w = self.rml.decode(label, w_prime);
         let z = self.rml.graph().z_term(label, w_prime);
-        let next = (self.c.get(w) as i64 + self.labeled.rank(label, j) as i64 - z) as usize;
+        let next = (self.c.get(w) as i64 + rank as i64 - z) as usize;
         (w, next)
     }
 
@@ -243,11 +264,14 @@ impl CinctIndex {
         self.labeled.size_in_bytes() + self.c.size_in_bytes()
     }
 
-    /// Bytes spent on the trajectory directory and optional SA samples —
-    /// API conveniences beyond the paper's data structure.
+    /// Bytes spent on the trajectory directory, optional SA samples and
+    /// the `C`-array's `symbol_at` accelerator — engineering conveniences
+    /// beyond the paper's data structure (which
+    /// [`CinctIndex::core_size_in_bytes`] accounts).
     pub fn directory_size_in_bytes(&self) -> usize {
         self.traj_starts.capacity() * 4
             + self.traj_rows.capacity() * 4
+            + self.c.accel_size_in_bytes()
             + self
                 .samples
                 .as_ref()
@@ -262,6 +286,85 @@ impl CinctIndex {
     /// SA sampling rate, if the index was built with locate support.
     pub fn locate_sampling_rate(&self) -> Option<usize> {
         self.samples.as_ref().map(|s| s.rate)
+    }
+}
+
+/// Seed-equivalent query paths.
+///
+/// These run the exact same algorithms over the exact same structures as
+/// the optimized API, except every constant-factor hot-path optimization
+/// is bypassed: bit-level ranks use [`cinct_succinct::BitRank::rank1_reference`]
+/// (per-block directory walk + per-bit in-block decode) and the LF context
+/// comes from [`CArray::symbol_at_binsearch`] (`O(log σ)`). They exist so
+/// `cinct_bench`'s `hotpath` binary can measure "seed vs optimized" in one
+/// build and so tests can pin both paths to each other; nothing else
+/// should call them. See `PERFORMANCE.md` for the recorded baseline.
+impl CinctIndex {
+    /// [`CinctIndex::path_range`] over the seed-equivalent primitives
+    /// (separate label and Z lookups, two single rank descents per step —
+    /// the seed's exact step shape).
+    pub fn path_range_reference(&self, path: &[u32]) -> Option<Range<usize>> {
+        self.labeled_search_with(
+            Path::new(path).search_symbols(),
+            |w, w_prev| {
+                let label = self.rml.label(w, w_prev)?;
+                Some((label, self.rml.graph().z_term(label, w_prev)))
+            },
+            |label, i, j| {
+                (
+                    self.labeled.rank_reference(label, i),
+                    self.labeled.rank_reference(label, j),
+                )
+            },
+        )
+    }
+
+    /// [`PathQuery::count`] over the seed-equivalent rank primitive.
+    pub fn count_path_reference(&self, path: &[u32]) -> usize {
+        self.path_range_reference(path).map_or(0, |r| r.len())
+    }
+
+    /// [`CinctIndex::lf_step`] with binary-search context lookup and
+    /// seed-equivalent wavelet-tree access/rank.
+    pub fn lf_step_reference(&self, j: usize) -> (Symbol, usize) {
+        let w_prime = self.c.symbol_at_binsearch(j);
+        let label = self.labeled.access_reference(j);
+        let w = self.rml.decode(label, w_prime);
+        let z = self.rml.graph().z_term(label, w_prime);
+        let next =
+            (self.c.get(w) as i64 + self.labeled.rank_reference(label, j) as i64 - z) as usize;
+        (w, next)
+    }
+
+    /// [`CinctIndex::locate`] walking with [`CinctIndex::lf_step_reference`].
+    pub fn locate_reference(&self, j: usize) -> Option<usize> {
+        let samples = self.samples.as_ref()?;
+        let mut j = j;
+        let mut steps = 0usize;
+        loop {
+            if samples.marked.get(j) {
+                let k = samples.marked.rank1(j);
+                return Some(samples.values.get(k) as usize + steps);
+            }
+            let (_, next) = self.lf_step_reference(j);
+            j = next;
+            steps += 1;
+            debug_assert!(steps <= self.labeled.len(), "locate walk diverged");
+        }
+    }
+
+    /// [`CinctIndex::extract_encoded`] walking with
+    /// [`CinctIndex::lf_step_reference`]; returns forward text order.
+    pub fn extract_encoded_reference(&self, j: usize, l: usize) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(l);
+        let mut row = j;
+        for _ in 0..l {
+            let (symbol, next) = self.lf_step_reference(row);
+            out.push(symbol);
+            row = next;
+        }
+        out.reverse();
+        out
     }
 }
 
@@ -541,6 +644,34 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn reference_paths_agree_with_optimized() {
+        // The seed-equivalent bench paths must stay answer-identical to the
+        // optimized hot path over every primitive they reimplement.
+        let trajs = paper_trajs();
+        let idx = CinctBuilder::new().locate_sampling(2).build(&trajs, 6);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(
+                    idx.path_range(&[a, b]),
+                    idx.path_range_reference(&[a, b]),
+                    "range [{a},{b}]"
+                );
+                assert_eq!(idx.count_path(&[a, b]), idx.count_path_reference(&[a, b]));
+            }
+        }
+        let n = idx.text_len();
+        for j in 0..n {
+            assert_eq!(idx.lf_step(j), idx.lf_step_reference(j), "lf({j})");
+            assert_eq!(idx.locate(j), idx.locate_reference(j), "locate({j})");
+            assert_eq!(
+                idx.extract_encoded(j, 4.min(n)),
+                idx.extract_encoded_reference(j, 4.min(n)),
+                "extract({j})"
+            );
         }
     }
 

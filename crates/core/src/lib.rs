@@ -65,7 +65,12 @@
 //!
 //! Batches of heterogeneous queries run through [`engine::QueryEngine`],
 //! which works over any `&dyn PathQuery` backend and reports per-query
-//! results plus timing.
+//! results plus timing; `QueryEngine::parallel(n)` fans a batch out
+//! across threads with order- and value-identical results.
+//!
+//! The query hot path (RRR rank directory, fused wavelet descents, O(1)
+//! LF context) and its recorded baseline (`BENCH_PR3.json`) are described
+//! in the repository's `PERFORMANCE.md`.
 
 pub mod builder;
 pub mod engine;

@@ -70,6 +70,13 @@ impl Rml {
         self.graph.label(w, w_prime)
     }
 
+    /// `(φ(w|w′), Z_{w′w})` in one adjacency lookup (the backward-search
+    /// step shape; see [`crate::EtGraph::label_and_z`]).
+    #[inline]
+    pub fn label_and_z(&self, w: u32, w_prime: u32) -> Option<(u32, i64)> {
+        self.graph.label_and_z(w, w_prime)
+    }
+
     /// Inverse: the symbol with the given label in context `w′`.
     #[inline]
     pub fn decode(&self, label: u32, w_prime: u32) -> u32 {

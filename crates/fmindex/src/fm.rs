@@ -49,11 +49,12 @@ impl<S: SymbolSeq> FmIndex<S> {
     }
 
     /// One LF-mapping step from BWT position `j`: returns
-    /// `(previous text symbol, next BWT position)`.
+    /// `(previous text symbol, next BWT position)`. Symbol and rank come
+    /// from one fused container query ([`SymbolSeq::access_and_rank`]).
     #[inline]
     pub fn lf_step(&self, j: usize) -> (Symbol, usize) {
-        let w = self.seq.access(j);
-        (w, self.c.get(w) + self.seq.rank(w, j))
+        let (w, rank) = self.seq.access_and_rank(j);
+        (w, self.c.get(w) + rank)
     }
 
     /// Algorithm 1 (`SearchFM`): backward search, consuming pattern symbols
@@ -74,8 +75,9 @@ impl<S: SymbolSeq> FmIndex<S> {
             if w as usize >= self.c.sigma() {
                 return None;
             }
-            sp = self.c.get(w) + self.seq.rank(w, sp);
-            ep = self.c.get(w) + self.seq.rank(w, ep);
+            let (rsp, rep) = self.seq.rank_pair(w, sp, ep);
+            sp = self.c.get(w) + rsp;
+            ep = self.c.get(w) + rep;
         }
         if sp < ep {
             Some(sp..ep)

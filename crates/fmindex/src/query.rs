@@ -110,7 +110,11 @@ impl AsRef<Path> for Vec<u32> {
 /// streaming occurrence and extraction iterators — is provided on top.
 /// The trait is object-safe: the batch `QueryEngine` and the bench
 /// harness drive all backends through `&dyn PathQuery`.
-pub trait PathQuery {
+///
+/// `Send + Sync` are supertraits: every index is an immutable query
+/// structure once built, and the batch layer fans one `&dyn PathQuery`
+/// out across threads (`QueryEngine::parallel`).
+pub trait PathQuery: Send + Sync {
     /// Length of the indexed trajectory string, sentinels included.
     fn text_len(&self) -> usize;
 

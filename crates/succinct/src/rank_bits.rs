@@ -86,22 +86,62 @@ impl RankBitVec {
     }
 
     /// Position of the `k`-th (0-based) zero bit, or `None`.
+    ///
+    /// Routed through the same two-level directory as [`Self::select1`]:
+    /// zeros before a (super)block are `block_bits − ones`, so the existing
+    /// one-counters answer zero-searches without extra storage — unlike the
+    /// seed's binary search over `rank0`, which paid `O(log n)` full rank
+    /// probes per call.
     pub fn select0(&self, k: usize) -> Option<usize> {
         let zeros = self.len() - self.ones;
         if k >= zeros {
             return None;
         }
-        // Binary search over rank0 (select0 is off the hot path).
-        let (mut lo, mut hi) = (0usize, self.len());
+        let k64 = k as u64;
+        // Superblock: last one whose zeros-before (= bits-before − ones-
+        // before) is <= k. Index-aware predicate, so a manual bisection
+        // rather than `partition_point`.
+        let (mut lo, mut hi) = (0usize, self.super_ranks.len() - 1);
         while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.rank0(mid + 1) <= k {
-                lo = mid + 1;
+            let mid = hi - (hi - lo) / 2;
+            if (mid * SUPER_BITS) as u64 - self.super_ranks[mid] <= k64 {
+                lo = mid;
             } else {
-                hi = mid;
+                hi = mid - 1;
             }
         }
-        Some(lo)
+        let sb = lo;
+        let rel = k64 - ((sb * SUPER_BITS) as u64 - self.super_ranks[sb]);
+        // Block within the superblock, same zeros-before transform.
+        let blk_lo = sb * SUPER_BLOCKS;
+        let blk_hi = (blk_lo + SUPER_BLOCKS).min(self.block_ranks.len());
+        let (mut lo, mut hi) = (blk_lo, blk_hi - 1);
+        while lo < hi {
+            let mid = hi - (hi - lo) / 2;
+            if ((mid - blk_lo) * BLOCK_BITS) as u64 - self.block_ranks[mid] as u64 <= rel {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let blk = lo;
+        let mut rem =
+            (rel - (((blk - blk_lo) * BLOCK_BITS) as u64 - self.block_ranks[blk] as u64)) as usize;
+        let words = self.bits.words();
+        let start = blk * BLOCK_WORDS;
+        let end = (start + BLOCK_WORDS).min(words.len());
+        for (wi, &w) in words.iter().enumerate().take(end).skip(start) {
+            // Inverted word: ones mark zeros. Phantom zeros beyond `len` in
+            // the final word sort after every real zero, and `k < zeros`
+            // guarantees the target is real, so they are never selected.
+            let w = !w;
+            let c = w.count_ones() as usize;
+            if rem < c {
+                return Some(wi * 64 + select_in_word(w, rem as u32) as usize);
+            }
+            rem -= c;
+        }
+        None
     }
 
     /// Borrow the raw bits.
@@ -257,16 +297,50 @@ mod tests {
             ones += bits.get(i) as usize;
         }
         assert_eq!(rb.rank1(bits.len()), ones);
-        // select across the boundary
+        // select across the boundary — zeros as well as ones.
         let mut seen = 0usize;
+        let mut seen0 = 0usize;
         for i in 0..bits.len() {
             if bits.get(i) {
                 if seen.is_multiple_of(1009) {
                     assert_eq!(rb.select1(seen), Some(i));
                 }
                 seen += 1;
+            } else {
+                if seen0.is_multiple_of(1013) {
+                    assert_eq!(rb.select0(seen0), Some(i), "select0({seen0})");
+                }
+                seen0 += 1;
             }
         }
+        assert_eq!(rb.select0(seen0), None);
+    }
+
+    #[test]
+    fn select0_boundaries() {
+        // All ones: no zero to select at any k.
+        let ones = RankBitVec::new(BitBuf::from_bools(std::iter::repeat_n(true, 1000)));
+        assert_eq!(ones.select0(0), None);
+        // Lone zero at a word boundary, straddling block edges.
+        for pos in [0usize, 63, 64, 511, 512, 513, 999] {
+            let mut b = BitBuf::from_bools(std::iter::repeat_n(true, 1000));
+            b.set(pos, false);
+            let rb = RankBitVec::new(b);
+            assert_eq!(rb.select0(0), Some(pos), "zero at {pos}");
+            assert_eq!(rb.select0(1), None);
+        }
+        // All zeros: identity select across block/superblock strata.
+        let zeros = RankBitVec::new(BitBuf::zeros(70_000));
+        for k in [0usize, 63, 64, 511, 512, 65_535, 65_536, 69_999] {
+            assert_eq!(zeros.select0(k), Some(k));
+        }
+        assert_eq!(zeros.select0(70_000), None);
+        // Phantom zeros beyond len in the final word are never selected.
+        let mut tail = BitBuf::zeros(65);
+        tail.set(64, true); // last real bit is a one
+        let rb = RankBitVec::new(tail);
+        assert_eq!(rb.select0(63), Some(63));
+        assert_eq!(rb.select0(64), None);
     }
 
     #[test]

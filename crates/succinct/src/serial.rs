@@ -145,13 +145,13 @@ impl Persist for RankBitVec {
 
 impl Persist for RrrBitVec {
     fn persist(&self, w: &mut dyn Write) -> io::Result<()> {
-        let (b, len, classes, offsets, sample_ranks, sample_ptrs, ones) = self.raw_parts();
+        // The rank directory is derived state: only the compressed payload
+        // is written, and `from_raw_parts` rebuilds the directory on load.
+        let (b, len, classes, offsets, ones) = self.raw_parts();
         write_usize(w, b)?;
         write_usize(w, len)?;
         classes.persist(w)?;
         offsets.persist(w)?;
-        sample_ranks.to_vec().persist(w)?;
-        sample_ptrs.to_vec().persist(w)?;
         write_usize(w, ones)
     }
 
@@ -160,10 +160,8 @@ impl Persist for RrrBitVec {
         let len = read_usize(r)?;
         let classes = BitBuf::restore(r)?;
         let offsets = BitBuf::restore(r)?;
-        let sample_ranks: Vec<u64> = Persist::restore(r)?;
-        let sample_ptrs: Vec<u64> = Persist::restore(r)?;
         let ones = read_usize(r)?;
-        RrrBitVec::from_raw_parts(b, len, classes, offsets, sample_ranks, sample_ptrs, ones)
+        RrrBitVec::from_raw_parts(b, len, classes, offsets, ones)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "RRR shape mismatch"))
     }
 }

@@ -32,7 +32,10 @@ impl<T: SpaceUsage> SpaceUsage for Vec<T> {
 /// ([`crate::RankBitVec`]) and the compressed ([`crate::RrrBitVec`]) bit
 /// vectors. Wavelet structures are generic over this trait, which is how the
 /// paper's UFMI / ICB-WM / ICB-Huff / CiNCT variants share one code base.
-pub trait BitRank: SpaceUsage {
+///
+/// `Send + Sync` are supertraits: rank structures are immutable once built
+/// and the parallel query engine shares indexes across threads.
+pub trait BitRank: SpaceUsage + Send + Sync {
     /// Number of bits stored.
     fn len(&self) -> usize;
 
@@ -56,6 +59,38 @@ pub trait BitRank: SpaceUsage {
     fn count_ones(&self) -> usize {
         self.rank1(self.len())
     }
+
+    /// `(get(i), rank1(i))` in one call — the per-level primitive of a
+    /// wavelet-tree access descent. Backends that decode a block per query
+    /// ([`crate::RrrBitVec`]) override this to answer both from a single
+    /// decode. Must be answer-identical to `get` + `rank1`.
+    fn get_and_rank1(&self, i: usize) -> (bool, usize) {
+        (self.get(i), self.rank1(i))
+    }
+
+    /// `(rank1(i), rank1(j))` in one call. Backward search ranks two
+    /// positions per step; backends with a serial per-rank dependency
+    /// chain ([`crate::RrrBitVec`]) override this to interleave the two
+    /// chains for instruction-level parallelism. Must be answer-identical
+    /// to two [`BitRank::rank1`] calls.
+    fn rank1_pair(&self, i: usize, j: usize) -> (usize, usize) {
+        (self.rank1(i), self.rank1(j))
+    }
+
+    /// Seed-equivalent `rank1`: the straightforward algorithm an
+    /// implementation shipped with before hot-path engineering, kept so the
+    /// bench harness can measure optimized-vs-baseline *in one binary* and
+    /// property tests can pin the fast path to it. Structures with no
+    /// slower baseline (e.g. [`crate::RankBitVec`]) leave the default,
+    /// which forwards to [`BitRank::rank1`].
+    fn rank1_reference(&self, i: usize) -> usize {
+        self.rank1(i)
+    }
+
+    /// Seed-equivalent `get`; see [`BitRank::rank1_reference`].
+    fn get_reference(&self, i: usize) -> bool {
+        self.get(i)
+    }
 }
 
 /// Construction interface: build a rank structure from a raw bit buffer.
@@ -75,7 +110,10 @@ pub trait BitVecBuild: BitRank + Sized {
 
 /// Symbol-level sequence interface: the operations an FM-index needs from the
 /// structure holding the (possibly labeled) BWT.
-pub trait SymbolSeq: SpaceUsage {
+///
+/// `Send + Sync` are supertraits for the same reason as [`BitRank`]'s: BWT
+/// containers are immutable query structures shared across query threads.
+pub trait SymbolSeq: SpaceUsage + Send + Sync {
     /// Sequence length.
     fn len(&self) -> usize;
 
@@ -87,8 +125,26 @@ pub trait SymbolSeq: SpaceUsage {
     /// Number of occurrences of `w` in positions `[0, i)`.
     fn rank(&self, w: Symbol, i: usize) -> usize;
 
+    /// `(rank(w, i), rank(w, j))` in one call — the shape of every
+    /// backward-search step (`sp`/`ep`). Wavelet backends override this to
+    /// descend once and pair the bit-level ranks ([`BitRank::rank1_pair`]);
+    /// must be answer-identical to two [`SymbolSeq::rank`] calls.
+    fn rank_pair(&self, w: Symbol, i: usize, j: usize) -> (usize, usize) {
+        (self.rank(w, i), self.rank(w, j))
+    }
+
     /// The symbol at position `i`.
     fn access(&self, i: usize) -> Symbol;
+
+    /// `(access(i), rank(access(i), i))` in one call — exactly the pair an
+    /// LF-mapping step consumes. A wavelet descent computes the rank as a
+    /// by-product of access (the leaf position *is* the rank), so wavelet
+    /// backends override this to answer both in one descent; must be
+    /// answer-identical to `access` + `rank`.
+    fn access_and_rank(&self, i: usize) -> (Symbol, usize) {
+        let s = self.access(i);
+        (s, self.rank(s, i))
+    }
 
     /// Size of the alphabet (symbols are `0..alphabet_size`).
     fn alphabet_size(&self) -> usize;

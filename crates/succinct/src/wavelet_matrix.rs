@@ -47,10 +47,14 @@ impl<B: BitVecBuild> WaveletMatrix<B> {
         let mut zeros = Vec::with_capacity(bits_per_symbol);
         let mut cur: Vec<Symbol> = seq.to_vec();
         let mut next: Vec<Symbol> = Vec::with_capacity(seq.len());
+        // One ones-bucket reused across levels: the seed allocated (and
+        // grew) a fresh Vec per level, a measurable slice of UFMI/ICB-WM
+        // build time at log σ levels over multi-million-symbol sequences.
+        let mut ones_bucket: Vec<Symbol> = Vec::with_capacity(seq.len() / 2);
         for level in 0..bits_per_symbol {
             let shift = bits_per_symbol - 1 - level;
             let mut bits = BitBuf::with_capacity(cur.len());
-            let mut ones_bucket: Vec<Symbol> = Vec::new();
+            ones_bucket.clear();
             next.clear();
             for &s in &cur {
                 let bit = (s >> shift) & 1 == 1;
@@ -116,22 +120,81 @@ impl<B: BitVecBuild> SymbolSeq for WaveletMatrix<B> {
         end - start
     }
 
+    /// One descent for both positions; both ranks share the single
+    /// bucket-start chain (`rank(w, ·)` maps position 0 identically for
+    /// any end), and the two end positions pair up through
+    /// [`crate::BitRank::rank1_pair`] (the backward-search `sp`/`ep`
+    /// shape).
+    #[inline]
+    fn rank_pair(&self, w: Symbol, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i <= self.len && j <= self.len);
+        if w as usize >= self.alphabet_size {
+            return (0, 0);
+        }
+        let (mut s, mut e1, mut e2) = (0usize, i, j);
+        for level in 0..self.bits_per_symbol {
+            let shift = self.bits_per_symbol - 1 - level;
+            let bv = &self.levels[level];
+            let rs = bv.rank1(s);
+            let (re1, re2) = bv.rank1_pair(e1, e2);
+            if (w >> shift) & 1 == 1 {
+                let z = self.zeros[level];
+                s = z + rs;
+                e1 = z + re1;
+                e2 = z + re2;
+            } else {
+                s -= rs;
+                e1 -= re1;
+                e2 -= re2;
+            }
+            if s >= e1 && s >= e2 {
+                return (0, 0);
+            }
+        }
+        (e1.saturating_sub(s), e2.saturating_sub(s))
+    }
+
     #[inline]
     fn access(&self, i: usize) -> Symbol {
+        self.access_and_rank(i).0
+    }
+
+    /// One descent answers both: each level uses the fused
+    /// [`crate::BitRank::get_and_rank1`] and the final position is
+    /// `rank(symbol, i)` by the wavelet invariant.
+    #[inline]
+    fn access_and_rank(&self, i: usize) -> (Symbol, usize) {
         debug_assert!(i < self.len);
         let mut pos = i;
         let mut sym: Symbol = 0;
         for level in 0..self.bits_per_symbol {
             let bv = &self.levels[level];
+            let (bit, r1) = bv.get_and_rank1(pos);
             sym <<= 1;
-            if bv.get(pos) {
+            if bit {
                 sym |= 1;
-                pos = self.zeros[level] + bv.rank1(pos);
+                pos = self.zeros[level] + r1;
             } else {
-                pos = bv.rank0(pos);
+                pos -= r1;
             }
         }
-        sym
+        // `pos` is the index of this occurrence within the final bucket of
+        // equal symbols, offset by the bucket's start; recover the rank by
+        // subtracting the bucket start = position of the first occurrence.
+        let start = {
+            let mut s = 0usize;
+            for level in 0..self.bits_per_symbol {
+                let shift = self.bits_per_symbol - 1 - level;
+                let bv = &self.levels[level];
+                if (sym >> shift) & 1 == 1 {
+                    s = self.zeros[level] + bv.rank1(s);
+                } else {
+                    s -= bv.rank1(s);
+                }
+            }
+            s
+        };
+        (sym, pos - start)
     }
 }
 

@@ -24,12 +24,15 @@ use crate::traits::{BitVecBuild, SpaceUsage, Symbol, SymbolSeq};
 /// child links, each stored at the minimal bit width. With large alphabets
 /// (σ internal nodes) a naive struct-of-u64s would cost 32 bytes per node —
 /// a visible fraction of the whole index; packing brings it to a few bytes.
+///
+/// Start and ones-before are *interleaved* (`[start0, ones0, start1, …]`)
+/// so every descent level fetches both with one packed read — a hot-path
+/// constant, since each wavelet rank/access touches them once per level.
 #[derive(Clone, Debug)]
 struct NodeTable {
-    /// First bit of each node's bitmap in the global vector.
-    starts: IntVec,
-    /// Ones in the global vector before each node's bitmap.
-    ones_before: IntVec,
+    /// Interleaved per-node pairs: even slots = first bit of the node's
+    /// bitmap in the global vector, odd slots = ones before it.
+    meta: IntVec,
     /// Child links: `(x << 1) | 1` = leaf with symbol `x`; `x << 1` =
     /// internal node `x`. Left children at even slots, right at odd.
     children: IntVec,
@@ -44,6 +47,30 @@ impl NodeTable {
         } else {
             Child::Node((v >> 1) as u32)
         }
+    }
+
+    /// `(start, ones_before)` of `node`, one fetch when the pair fits a
+    /// word (always, until a single wavelet tree exceeds 2³² bits).
+    #[inline]
+    fn start_and_ones(&self, node: usize) -> (usize, usize) {
+        let w = self.meta.width();
+        if 2 * w <= 64 {
+            let packed = self.meta.raw_bits().get_bits(2 * node * w, 2 * w);
+            (
+                (packed & ((1u64 << w) - 1)) as usize,
+                (packed >> w) as usize,
+            )
+        } else {
+            (
+                self.meta.get(2 * node) as usize,
+                self.meta.get(2 * node + 1) as usize,
+            )
+        }
+    }
+
+    #[inline]
+    fn start(&self, node: usize) -> usize {
+        self.meta.get(2 * node) as usize
     }
 }
 
@@ -134,8 +161,7 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
         let mut global = BitBuf::with_capacity(total);
         let pos_width = IntVec::width_for(total.max(1) as u64);
         let child_width = IntVec::width_for(((alphabet_size.max(n_nodes)) as u64) << 1 | 1);
-        let mut starts = IntVec::with_capacity(pos_width, n_nodes);
-        let mut ones_before = IntVec::with_capacity(pos_width, n_nodes);
+        let mut meta = IntVec::with_capacity(pos_width, n_nodes * 2);
         let mut children = IntVec::with_capacity(child_width, n_nodes * 2);
         let encode_child = |c: Child| -> u64 {
             match c {
@@ -145,8 +171,8 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
         };
         let mut ones: u64 = 0;
         for (i, nb) in raw.iter().enumerate() {
-            starts.push(global.len() as u64);
-            ones_before.push(ones);
+            meta.push(global.len() as u64);
+            meta.push(ones);
             children.push(encode_child(tree.nodes[i].0));
             children.push(encode_child(tree.nodes[i].1));
             for w in 0..nb.len() {
@@ -158,11 +184,7 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
 
         Self {
             bits,
-            nodes: NodeTable {
-                starts,
-                ones_before,
-                children,
-            },
+            nodes: NodeTable { meta, children },
             codes: tree.codes,
             len: seq.len(),
             alphabet_size,
@@ -172,14 +194,76 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
     /// Node-local rank1 of prefix length `p` within `node`.
     #[inline]
     fn node_rank1(&self, node: usize, p: usize) -> usize {
-        self.bits.rank1(self.nodes.starts.get(node) as usize + p)
-            - self.nodes.ones_before.get(node) as usize
+        let (start, before) = self.nodes.start_and_ones(node);
+        self.bits.rank1(start + p) - before
     }
 
     /// Average code length = total stored bits / sequence length; equals
     /// the expected number of bit-level ranks per symbol rank.
     pub fn avg_code_len(&self) -> f64 {
         self.bits.len() as f64 / self.len as f64
+    }
+
+    /// The concatenated backend bit vector (diagnostics / microbenches).
+    pub fn backend(&self) -> &B {
+        &self.bits
+    }
+
+    /// Node-local `(rank1(p), rank1(q))` through the backend's paired
+    /// bit rank.
+    #[inline]
+    fn node_rank1_pair(&self, node: usize, p: usize, q: usize) -> (usize, usize) {
+        let (start, before) = self.nodes.start_and_ones(node);
+        let (a, b) = self.bits.rank1_pair(start + p, start + q);
+        (a - before, b - before)
+    }
+
+    /// Node-local rank1 via the backend's seed-equivalent bit rank.
+    #[inline]
+    fn node_rank1_reference(&self, node: usize, p: usize) -> usize {
+        let (start, before) = self.nodes.start_and_ones(node);
+        self.bits.rank1_reference(start + p) - before
+    }
+
+    /// [`SymbolSeq::rank`] over the backend's seed-equivalent bit ranks
+    /// ([`crate::BitRank::rank1_reference`]) — the baseline path the `hotpath`
+    /// bench times against the optimized one in the same binary.
+    pub fn rank_reference(&self, w: Symbol, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let Some(code) = self.codes.get(w) else {
+            return 0;
+        };
+        let mut node = 0usize;
+        let mut pos = i;
+        for k in 0..code.len as usize {
+            let bit = code.path_bit(k);
+            let r1 = self.node_rank1_reference(node, pos);
+            let child = self.nodes.child(node, bit);
+            pos = if bit { r1 } else { pos - r1 };
+            match child {
+                Child::Leaf(_) => return pos,
+                Child::Node(i) => node = i as usize,
+            }
+        }
+        pos
+    }
+
+    /// [`SymbolSeq::access`] over the backend's seed-equivalent bit
+    /// operations; see [`Self::rank_reference`].
+    pub fn access_reference(&self, i: usize) -> Symbol {
+        debug_assert!(i < self.len);
+        let mut node = 0usize;
+        let mut pos = i;
+        loop {
+            let bit = self.bits.get_reference(self.nodes.start(node) + pos);
+            let r1 = self.node_rank1_reference(node, pos);
+            let child = self.nodes.child(node, bit);
+            pos = if bit { r1 } else { pos - r1 };
+            match child {
+                Child::Leaf(s) => return s,
+                Child::Node(i) => node = i as usize,
+            }
+        }
     }
 }
 
@@ -190,6 +274,37 @@ impl<B: BitVecBuild> SymbolSeq for HuffmanWaveletTree<B> {
 
     fn alphabet_size(&self) -> usize {
         self.alphabet_size
+    }
+
+    /// One descent for both positions: per level the two node-local bit
+    /// ranks are independent, so pairing them ([`crate::BitRank::rank1_pair`])
+    /// overlaps their dependency chains — the backward-search `sp`/`ep`
+    /// fast path.
+    #[inline]
+    fn rank_pair(&self, w: Symbol, i: usize, j: usize) -> (usize, usize) {
+        debug_assert!(i <= self.len && j <= self.len);
+        let Some(code) = self.codes.get(w) else {
+            return (0, 0);
+        };
+        let mut node = 0usize;
+        let (mut a, mut b) = (i, j);
+        for k in 0..code.len as usize {
+            let bit = code.path_bit(k);
+            let (ra, rb) = self.node_rank1_pair(node, a, b);
+            let child = self.nodes.child(node, bit);
+            if bit {
+                a = ra;
+                b = rb;
+            } else {
+                a -= ra;
+                b -= rb;
+            }
+            match child {
+                Child::Leaf(_) => return (a, b),
+                Child::Node(i) => node = i as usize,
+            }
+        }
+        (a, b)
     }
 
     #[inline]
@@ -215,16 +330,27 @@ impl<B: BitVecBuild> SymbolSeq for HuffmanWaveletTree<B> {
 
     #[inline]
     fn access(&self, i: usize) -> Symbol {
+        self.access_and_rank(i).0
+    }
+
+    /// One descent answers both: per level a single fused
+    /// [`crate::BitRank::get_and_rank1`] (one block decode instead of the
+    /// seed's three prefix walks) steers the walk, and the leaf position
+    /// is `rank(symbol, i)` by the wavelet invariant — the whole second
+    /// rank descent of an LF step disappears.
+    #[inline]
+    fn access_and_rank(&self, i: usize) -> (Symbol, usize) {
         debug_assert!(i < self.len);
         let mut node = 0usize;
         let mut pos = i;
         loop {
-            let bit = self.bits.get(self.nodes.starts.get(node) as usize + pos);
-            let r1 = self.node_rank1(node, pos);
+            let (start, before) = self.nodes.start_and_ones(node);
+            let (bit, r1_abs) = self.bits.get_and_rank1(start + pos);
+            let r1 = r1_abs - before;
             let child = self.nodes.child(node, bit);
             pos = if bit { r1 } else { pos - r1 };
             match child {
-                Child::Leaf(s) => return s,
+                Child::Leaf(s) => return (s, pos),
                 Child::Node(i) => node = i as usize,
             }
         }
@@ -234,8 +360,7 @@ impl<B: BitVecBuild> SymbolSeq for HuffmanWaveletTree<B> {
 impl<B: BitVecBuild + Persist> Persist for HuffmanWaveletTree<B> {
     fn persist(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
         self.bits.persist(w)?;
-        self.nodes.starts.persist(w)?;
-        self.nodes.ones_before.persist(w)?;
+        self.nodes.meta.persist(w)?;
         self.nodes.children.persist(w)?;
         self.codes.persist(w)?;
         write_usize(w, self.len)?;
@@ -244,13 +369,12 @@ impl<B: BitVecBuild + Persist> Persist for HuffmanWaveletTree<B> {
 
     fn restore(r: &mut dyn std::io::Read) -> std::io::Result<Self> {
         let bits = B::restore(r)?;
-        let starts = IntVec::restore(r)?;
-        let ones_before = IntVec::restore(r)?;
+        let meta = IntVec::restore(r)?;
         let children = IntVec::restore(r)?;
         let codes = CodeTable::restore(r)?;
         let len = read_usize(r)?;
         let alphabet_size = read_usize(r)?;
-        if starts.len() != ones_before.len() || children.len() != starts.len() * 2 {
+        if meta.len() != children.len() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "wavelet-tree node tables disagree",
@@ -258,11 +382,7 @@ impl<B: BitVecBuild + Persist> Persist for HuffmanWaveletTree<B> {
         }
         Ok(Self {
             bits,
-            nodes: NodeTable {
-                starts,
-                ones_before,
-                children,
-            },
+            nodes: NodeTable { meta, children },
             codes,
             len,
             alphabet_size,
@@ -273,8 +393,7 @@ impl<B: BitVecBuild + Persist> Persist for HuffmanWaveletTree<B> {
 impl<B: BitVecBuild> SpaceUsage for HuffmanWaveletTree<B> {
     fn size_in_bytes(&self) -> usize {
         self.bits.size_in_bytes()
-            + self.nodes.starts.size_in_bytes()
-            + self.nodes.ones_before.size_in_bytes()
+            + self.nodes.meta.size_in_bytes()
             + self.nodes.children.size_in_bytes()
             + self.codes.size_in_bytes()
     }

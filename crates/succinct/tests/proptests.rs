@@ -58,6 +58,41 @@ proptest! {
     }
 
     #[test]
+    fn rrr_fast_rank_matches_naive_and_reference(
+        bits in biased_bits_strategy(),
+        b in prop::sample::select(vec![15usize, 31, 63]),
+    ) {
+        // The optimized hot path (three-level directory, table-driven
+        // scan, pipelined/fused decodes) against both the naive bit count
+        // and the seed-equivalent reference algorithms, at every paper
+        // block size.
+        let buf = BitBuf::from_bools(bits.iter().copied());
+        let rrr = RrrBitVec::new(&buf, b);
+        let n = bits.len();
+        let mut ones = 0usize;
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(rrr.rank1(i), ones, "rank1({}) b={}", i, b);
+            prop_assert_eq!(rrr.rank1_reference(i), ones, "reference({}) b={}", i, b);
+            let (g, r) = rrr.get_and_rank1(i);
+            prop_assert_eq!((g, r), (bit, ones), "get_and_rank1({}) b={}", i, b);
+            ones += bit as usize;
+        }
+        prop_assert_eq!(rrr.rank1(n), ones);
+        // Paired ranks at pseudo-random position pairs (same-block,
+        // cross-block and boundary shapes all occur across cases).
+        let mut x = 0x2545_f491_4f6c_dd1du64 ^ (n as u64);
+        for _ in 0..32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % (n + 1);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (x >> 33) as usize % (n + 1);
+            let (a, bb) = rrr.rank1_pair(i, j);
+            prop_assert_eq!((a, bb), (rrr.rank1_reference(i), rrr.rank1_reference(j)),
+                "pair({}, {}) b={}", i, j, b);
+        }
+    }
+
+    #[test]
     fn hwt_equals_naive(seq in seq_strategy(25), b in prop::sample::select(vec![15usize, 31, 63])) {
         let wt = HuffmanWaveletTree::<RrrBitVec>::with_params(&seq, b);
         for (i, &s) in seq.iter().enumerate() {
