@@ -1,0 +1,339 @@
+//! Build-path baseline: construction throughput and allocation pressure,
+//! seed-equivalent vs allocation-lean, sequential vs multi-threaded —
+//! plus the batch engine's thread sweep — in one binary.
+//!
+//! Three sections feed `BENCH_PR4.json`:
+//!
+//! 1. **Build throughput** — the seed-equivalent reference pipeline
+//!    (`CinctBuilder::build_timed_reference`) against the optimized
+//!    pipeline at 1/2/4/8 threads, reported as symbols/sec with per-stage
+//!    breakdowns. Every build is asserted **byte-identical** once
+//!    serialized (determinism gate).
+//! 2. **Allocation counters** — a counting global allocator records total
+//!    bytes allocated and the peak live heap above the pre-build
+//!    baseline (an RSS proxy that is exact for the heap, unlike sampling
+//!    the OS counters).
+//! 3. **Parallel engine sweep** — the PR 3 mixed query workload (5k
+//!    queries) through `QueryEngine::parallel(t)` for `t ∈ {1, 2, 4, 8}`,
+//!    with outcome-identity asserted at every thread count.
+//!
+//! Run: `cargo run -p cinct_bench --release --bin buildpath`
+//! Knobs: `CINCT_SCALE` (default 0.25), `CINCT_BENCH_REPS` (default 3),
+//! `CINCT_THREADS` (comma list, default `1,2,4,8`), `CINCT_BENCH_OUT`
+//! (default `BENCH_PR4.json`). See `PERFORMANCE.md` for the cost model
+//! and the regen protocol.
+
+use cinct::engine::{Query, QueryEngine};
+use cinct::{CinctBuilder, CinctIndex, ConstructionTimings};
+use cinct_bench::{queries_from_env, sample_patterns, sample_rows, scale_from_env, time_best_of};
+use cinct_fmindex::PathQuery;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bytes ever allocated (monotone).
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
+/// Bytes currently live.
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of `LIVE` since the last reset.
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator wrapped with relaxed atomic counters — the bench's
+/// "peak-ish RSS proxy": exact for heap bytes, immune to the noise of
+/// sampling OS RSS around sub-second builds.
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn on_alloc(size: usize) {
+        TOTAL.fetch_add(size, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            Self::on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap traffic of one closure: `(result, total_bytes, peak_live_bytes)` —
+/// peak is measured above the heap level at entry.
+fn measure_alloc<T>(work: impl FnOnce() -> T) -> (T, usize, usize) {
+    let live0 = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live0, Ordering::Relaxed);
+    let total0 = TOTAL.load(Ordering::Relaxed);
+    let out = work();
+    let total = TOTAL.load(Ordering::Relaxed) - total0;
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(live0);
+    (out, total, peak)
+}
+
+fn serialize(idx: &CinctIndex) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    idx.write_to(&mut bytes).expect("in-memory serialize");
+    bytes
+}
+
+/// One measured build configuration.
+struct BuildResult {
+    name: String,
+    threads: usize,
+    secs: f64,
+    sym_per_sec: f64,
+    alloc_total: usize,
+    alloc_peak: usize,
+    stages: ConstructionTimings,
+}
+
+fn json_stages(t: &ConstructionTimings) -> String {
+    format!(
+        "{{\"ingest\": {:.4}, \"sa\": {:.4}, \"bwt\": {:.4}, \"et_graph\": {:.4}, \
+         \"wt\": {:.4}, \"directory\": {:.4}}}",
+        t.ingest.as_secs_f64(),
+        t.sa.as_secs_f64(),
+        t.bwt.as_secs_f64(),
+        t.et_graph_build.as_secs_f64(),
+        t.wt_build.as_secs_f64(),
+        t.directory.as_secs_f64()
+    )
+}
+
+fn threads_from_env() -> Vec<usize> {
+    std::env::var("CINCT_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let n_queries = queries_from_env();
+    let reps: usize = std::env::var("CINCT_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let thread_counts = threads_from_env();
+    let out_path =
+        std::env::var("CINCT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+
+    println!("== Build path: seed-equivalent vs allocation-lean construction (scale={scale}) ==\n");
+    let ds = cinct_datasets::singapore(scale);
+    let n_edges = ds.n_edges();
+    let trajs = &ds.trajectories;
+    let symbols: usize = trajs.iter().map(Vec::len).sum::<usize>() + trajs.len() + 1;
+    println!(
+        "corpus: {} trajectories, {} edges, {} symbols (incl. separators); host parallelism {}\n",
+        trajs.len(),
+        n_edges,
+        symbols,
+        rayon::current_num_threads()
+    );
+
+    const LOCATE_RATE: usize = 32;
+    let base = CinctBuilder::new().locate_sampling(LOCATE_RATE);
+
+    // --- Section 1+2: build throughput and allocation pressure. ---
+    let mut builds: Vec<BuildResult> = Vec::new();
+
+    // Seed-equivalent reference pipeline (sequential by construction).
+    let ((ref_idx, ref_stages), ref_total, ref_peak) =
+        measure_alloc(|| base.build_timed_reference(trajs, n_edges));
+    let ref_bytes = serialize(&ref_idx);
+    let ref_wall = time_best_of(reps, || {
+        std::hint::black_box(base.build_timed_reference(trajs, n_edges));
+    });
+    builds.push(BuildResult {
+        name: "reference".into(),
+        threads: 1,
+        secs: ref_wall.as_secs_f64(),
+        sym_per_sec: symbols as f64 / ref_wall.as_secs_f64(),
+        alloc_total: ref_total,
+        alloc_peak: ref_peak,
+        stages: ref_stages,
+    });
+    drop(ref_idx);
+
+    // Optimized pipeline across the thread sweep.
+    let mut kept: Option<CinctIndex> = None;
+    for &t in &thread_counts {
+        let builder = base.threads(t);
+        let ((idx, stages), total, peak) = measure_alloc(|| builder.build_timed(trajs, n_edges));
+        assert_eq!(
+            serialize(&idx),
+            ref_bytes,
+            "optimized build at {t} threads diverged from the reference bytes"
+        );
+        let wall = time_best_of(reps, || {
+            std::hint::black_box(builder.build_timed(trajs, n_edges));
+        });
+        builds.push(BuildResult {
+            name: format!("optimized_t{t}"),
+            threads: t,
+            secs: wall.as_secs_f64(),
+            sym_per_sec: symbols as f64 / wall.as_secs_f64(),
+            alloc_total: total,
+            alloc_peak: peak,
+            stages,
+        });
+        kept.get_or_insert(idx);
+    }
+    let idx = kept.expect("at least one thread count");
+
+    let ref_secs = builds[0].secs;
+    println!(
+        "{:<16} {:>7} {:>9} {:>12} {:>9} {:>11} {:>11}",
+        "pipeline", "threads", "secs", "sym/sec", "speedup", "alloc MiB", "peak MiB"
+    );
+    for b in &builds {
+        println!(
+            "{:<16} {:>7} {:>9.3} {:>12.0} {:>8.2}x {:>11.1} {:>11.1}",
+            b.name,
+            b.threads,
+            b.secs,
+            b.sym_per_sec,
+            ref_secs / b.secs,
+            b.alloc_total as f64 / (1 << 20) as f64,
+            b.alloc_peak as f64 / (1 << 20) as f64
+        );
+    }
+    println!(
+        "\nstage breakdown (reference):    {}",
+        builds[0].stages.breakdown()
+    );
+    println!(
+        "stage breakdown ({}): {}",
+        builds[1].name,
+        builds[1].stages.breakdown()
+    );
+    println!("all serialized indexes byte-identical: true");
+
+    // --- Section 3: the PR 3 mixed query workload, engine thread sweep. ---
+    const EXTRACT_LEN: usize = 20;
+    let counts = sample_patterns(trajs, 5, n_queries.max(100) * 8, 77);
+    let rows = sample_rows(idx.text_len(), n_queries.max(100) * 2);
+    let mut batch: Vec<Query> = counts.iter().map(|p| Query::count(p)).collect();
+    batch.extend(rows.iter().map(|&j| Query::extract(j, EXTRACT_LEN)));
+    println!(
+        "\nengine sweep: {}-query mixed batch (counts + extracts)",
+        batch.len()
+    );
+
+    let baseline = QueryEngine::new(&idx).run(&batch);
+    // `speedup` is always relative to the sequential engine: a t=1 row is
+    // prepended when CINCT_THREADS omits it, so the baseline never
+    // silently becomes a multi-threaded run.
+    let mut sweep = thread_counts.clone();
+    if !sweep.contains(&1) {
+        sweep.insert(0, 1);
+    }
+    let mut engine_rows: Vec<(usize, f64, bool)> = Vec::new();
+    let mut seq_wall_us = 0.0f64;
+    for &t in &sweep {
+        let engine = QueryEngine::new(&idx).parallel(t);
+        let wall = time_best_of(reps, || {
+            std::hint::black_box(engine.run(&batch));
+        });
+        let wall_us = wall.as_secs_f64() * 1e6;
+        if t == 1 {
+            seq_wall_us = wall_us;
+        }
+        let report = engine.run(&batch);
+        let identical = report
+            .outcomes
+            .iter()
+            .zip(&baseline.outcomes)
+            .all(|(a, b)| a.value == b.value)
+            && report.outcomes.len() == baseline.outcomes.len();
+        assert!(identical, "parallel({t}) outcomes diverged from sequential");
+        engine_rows.push((t, wall_us, identical));
+    }
+    println!(
+        "{:<8} {:>12} {:>9} {:>10}",
+        "threads", "wall us", "speedup", "identical"
+    );
+    for &(t, wall_us, identical) in &engine_rows {
+        println!(
+            "{:<8} {:>12.0} {:>8.2}x {:>10}",
+            t,
+            wall_us,
+            seq_wall_us / wall_us,
+            identical
+        );
+    }
+
+    // --- JSON report. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"dataset\": \"{}\", \"scale\": {scale}, \"reps\": {reps}, \
+         \"rrr_block_size\": 63, \"locate_sampling\": {LOCATE_RATE}, \"symbols\": {symbols}, \
+         \"text_len\": {}, \"sigma\": {}, \"host_parallelism\": {}, \"note\": \"thread-sweep \
+         entries are identity/overhead pins when host_parallelism is 1 — no wall-clock \
+         speedup is possible there; regenerate on a multi-core host for scaling numbers \
+         (PERFORMANCE.md)\"}},",
+        ds.name,
+        idx.text_len(),
+        idx.sigma(),
+        rayon::current_num_threads()
+    );
+    json.push_str("  \"build\": {\n    \"pipelines\": [\n");
+    for (i, b) in builds.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"name\": \"{}\", \"threads\": {}, \"secs\": {:.4}, \
+             \"sym_per_sec\": {:.0}, \"speedup_vs_reference\": {:.3}, \
+             \"alloc_total_bytes\": {}, \"alloc_peak_bytes\": {}, \"stages\": {}}}{}",
+            b.name,
+            b.threads,
+            b.secs,
+            b.sym_per_sec,
+            ref_secs / b.secs,
+            b.alloc_total,
+            b.alloc_peak,
+            json_stages(&b.stages),
+            if i + 1 < builds.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n    \"byte_identical\": true\n  },\n");
+    json.push_str("  \"parallel_engine\": [\n");
+    for (i, &(t, wall_us, identical)) in engine_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {t}, \"batch\": {}, \"wall_us\": {wall_us:.1}, \
+             \"speedup\": {:.3}, \"identical\": {identical}}}{}",
+            batch.len(),
+            seq_wall_us / wall_us,
+            if i + 1 < engine_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("\nwrote {out_path}");
+}

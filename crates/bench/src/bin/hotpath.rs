@@ -15,7 +15,7 @@
 
 use cinct::engine::{Query, QueryEngine};
 use cinct::{CinctBuilder, CinctIndex};
-use cinct_bench::{queries_from_env, sample_patterns, scale_from_env};
+use cinct_bench::{queries_from_env, sample_patterns, sample_rows, scale_from_env, time_best_of};
 use cinct_fmindex::PathQuery;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -39,20 +39,6 @@ impl ClassResult {
     fn speedup(&self) -> f64 {
         self.seed_ns / self.opt_ns
     }
-}
-
-/// Best-of-`reps` timing: runs `work` once to warm caches, then takes the
-/// minimum wall-clock of `reps` repetitions (the paper's single-timer
-/// batch protocol, hardened against scheduler noise).
-fn time_best_of(reps: usize, mut work: impl FnMut()) -> Duration {
-    work();
-    let mut best = Duration::MAX;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        work();
-        best = best.min(t0.elapsed());
-    }
-    best
 }
 
 /// Best-of-`reps` for the two compared paths with their repetitions
@@ -79,13 +65,6 @@ fn time_best_of_interleaved(
 
 fn ns_per_op(d: Duration, ops: usize) -> f64 {
     d.as_secs_f64() * 1e9 / ops as f64
-}
-
-/// Deterministic row sample across the BWT (no RNG: rows must match
-/// between the two timed paths and across reruns).
-fn sample_rows(n: usize, count: usize) -> Vec<usize> {
-    let stride = (n / count.max(1)).max(1);
-    (0..count).map(|i| (1 + i * stride) % n).collect()
 }
 
 fn measure(

@@ -21,6 +21,29 @@ pub use report::Table;
 pub use variants::{build_variant, BuiltIndex, Variant, ALL_VARIANTS};
 pub use workload::{sample_patterns, time_queries, QueryTiming};
 
+/// Best-of-`reps` timing: one warm-up pass, then the minimum wall-clock
+/// of `reps` repetitions (the repo's standard protocol — the paper's
+/// single-timer batch measurement hardened against scheduler noise; see
+/// `PERFORMANCE.md`). Shared by the `hotpath` and `buildpath` binaries so
+/// both measure under one definition.
+pub fn time_best_of(reps: usize, mut work: impl FnMut()) -> std::time::Duration {
+    work();
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        work();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Deterministic row sample across a BWT of `n` rows (no RNG: rows must
+/// match between compared paths and across reruns).
+pub fn sample_rows(n: usize, count: usize) -> Vec<usize> {
+    let stride = (n / count.max(1)).max(1);
+    (0..count).map(|i| (1 + i * stride) % n).collect()
+}
+
 /// Scale factor from the environment (`CINCT_SCALE`, default 0.25).
 pub fn scale_from_env() -> f64 {
     std::env::var("CINCT_SCALE")

@@ -166,6 +166,24 @@ pub fn bwt_from_sa(text: &[u32], sa: &[u32]) -> Vec<u32> {
         .collect()
 }
 
+/// Derive the BWT **in place**: overwrite the suffix array with
+/// `T_bwt[i] = T[(SA[i] + n − 1) mod n]`. The construction pipeline calls
+/// this once every SA-dependent byproduct (trajectory directory, SA
+/// samples) has been extracted, so the n-word BWT costs no allocation of
+/// its own — the SA buffer *becomes* the BWT.
+pub fn bwt_replace_sa(text: &[u32], sa: &mut [u32]) {
+    let n = text.len();
+    debug_assert_eq!(sa.len(), n);
+    for slot in sa.iter_mut() {
+        let i = *slot;
+        *slot = if i == 0 {
+            text[n - 1]
+        } else {
+            text[i as usize - 1]
+        };
+    }
+}
+
 /// Convenience: SA + BWT in one call.
 pub fn bwt(text: &[u32], sigma: usize) -> (Vec<u32>, Vec<u32>) {
     let sa = suffix_array(text, sigma);
@@ -265,6 +283,15 @@ mod tests {
         for j in 0..n {
             assert_eq!(back.symbol_at(j), c.symbol_at(j), "j={j}");
         }
+    }
+
+    #[test]
+    fn in_place_bwt_matches_allocating_path() {
+        let text = paper_text();
+        let (sa, b) = bwt(&text, 8);
+        let mut buf = sa.clone();
+        bwt_replace_sa(&text, &mut buf);
+        assert_eq!(buf, b);
     }
 
     #[test]

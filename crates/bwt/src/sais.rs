@@ -5,6 +5,60 @@
 //! this module is the equivalent substrate. The input is a `u32` sequence
 //! whose **last element must be the unique, smallest symbol** (the
 //! trajectory string's `#` sentinel satisfies this by construction).
+//!
+//! # Allocation-lean construction
+//!
+//! The default path ([`suffix_array`] / [`suffix_array_with`]) allocates
+//! only the output `sa` plus a reusable [`SaisWorkspace`]:
+//!
+//! * suffix types are a **bit-packed** map in the workspace (the seed spent
+//!   one `Vec<bool>` — 8x the bits — per recursion level);
+//! * bucket counters live in two workspace arrays **reused across levels**
+//!   (the seed allocated counts/heads/tails per level and then cloned the
+//!   head/tail cursors again inside every induce pass);
+//! * reduced problems are stored **inside the `sa` buffer itself**: the
+//!   sub-problem's SA occupies `sa[0..m]`, LMS names park at `sa[m + j/2]`,
+//!   and the reduced text / LMS-position table share `sa[n-m..n]` — the
+//!   classic in-buffer layout, so recursion allocates nothing at all. The
+//!   type map is recomputed after each recursive call instead of being kept
+//!   per level.
+//!
+//! The seed implementation survives as [`suffix_array_reference`] so the
+//! `buildpath` bench can measure both in one binary, and property tests pin
+//! the two (and a naive sort) to each other.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Reusable scratch for [`suffix_array_with`]: holds every transient the
+/// construction needs so repeated builds (and all recursion levels of one
+/// build) allocate nothing beyond the output array.
+///
+/// The type maps and symbol counts are **stacked arenas**: level `k`
+/// occupies a contiguous region after level `k-1`'s, so a level's data
+/// survives its recursive call untouched (no recomputation on the way
+/// back up). Total arena footprint is geometric — under `2n` bits of
+/// types and `O(σ + n)` count words.
+#[derive(Clone, Debug, Default)]
+pub struct SaisWorkspace {
+    /// Bit-packed suffix types, one region per live recursion level
+    /// (bit `i` of a level's region = the suffix at `i` is S-type).
+    stype: Vec<u64>,
+    /// Bit-packed LMS markers, derived from `stype` per level so the hot
+    /// loops test one bit (and scan whole words) instead of two.
+    lms: Vec<u64>,
+    /// Per-symbol occurrence counts, one region per live recursion level.
+    counts: Vec<u32>,
+    /// Scratch bucket cursors (heads or tails derived from `counts`).
+    bkt: Vec<u32>,
+}
+
+impl SaisWorkspace {
+    /// An empty workspace; buffers grow to fit the first text and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Build the suffix array of `text` over alphabet `0..sigma`.
 ///
@@ -16,174 +70,144 @@
 ///
 /// Returns `sa` with `sa[i]` = start position of the `i`-th smallest suffix.
 pub fn suffix_array(text: &[u32], sigma: usize) -> Vec<u32> {
+    let mut ws = SaisWorkspace::new();
+    suffix_array_with(text, sigma, &mut ws)
+}
+
+/// [`suffix_array`] with caller-provided scratch, so batch index builds
+/// reuse one workspace across texts.
+pub fn suffix_array_with(text: &[u32], sigma: usize, ws: &mut SaisWorkspace) -> Vec<u32> {
+    assert_input(text);
+    debug_assert!(text.iter().all(|&c| (c as usize) < sigma));
+    let mut sa = vec![0u32; text.len()];
+    sais_lean(text, &mut sa, sigma, ws, 0, 0);
+    sa
+}
+
+fn assert_input(text: &[u32]) {
     assert!(!text.is_empty(), "suffix_array of empty text");
     let last = *text.last().expect("non-empty");
     assert!(
         text[..text.len() - 1].iter().all(|&c| c > last),
         "last symbol must be the unique minimum sentinel"
     );
-    debug_assert!(text.iter().all(|&c| (c as usize) < sigma));
-    let mut sa = vec![0u32; text.len()];
-    sais_main(text, &mut sa, sigma);
-    sa
 }
 
-/// `true` bits mark S-type suffixes.
-fn classify(text: &[u32]) -> Vec<bool> {
-    let n = text.len();
-    let mut stype = vec![false; n];
-    stype[n - 1] = true; // the sentinel suffix is S-type by convention
-    for i in (0..n - 1).rev() {
-        stype[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && stype[i + 1]);
-    }
-    stype
-}
-
-/// Position `i` is LMS iff `i > 0`, `stype[i]` and `!stype[i-1]`.
+/// The suffix type of position `i` (bit-packed map): `true` = S-type.
 #[inline]
-fn is_lms(stype: &[bool], i: usize) -> bool {
-    i > 0 && stype[i] && !stype[i - 1]
+fn st_get(stype: &[u64], i: usize) -> bool {
+    (stype[i >> 6] >> (i & 63)) & 1 == 1
 }
 
-/// Bucket boundaries: `heads[c]` = first index of bucket `c`,
-/// `tails[c]` = one past the last.
-fn bucket_bounds(text: &[u32], sigma: usize) -> (Vec<u32>, Vec<u32>) {
-    let mut counts = vec![0u32; sigma];
-    for &c in text {
+/// Position `i` is LMS (per the derived LMS bitmap).
+#[inline]
+fn is_lms(lms: &[u64], i: usize) -> bool {
+    (lms[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+/// One fused right-to-left pass: bit-packed type map (words accumulate in
+/// a register and store once each — no per-bit read-modify-write), symbol
+/// counts, and then the derived LMS bitmap
+/// (`S & !(S << 1)`, patched across word seams, bit 0 cleared — position 0
+/// is never LMS).
+fn classify_and_count(text: &[u32], stype: &mut [u64], lms: &mut [u64], counts: &mut [u32]) {
+    let n = text.len();
+    debug_assert_eq!(stype.len(), n.div_ceil(64));
+    counts.fill(0);
+    counts[text[n - 1] as usize] += 1;
+    let mut next_s = true; // the sentinel suffix is S-type by convention
+    let mut word = 1u64 << ((n - 1) & 63);
+    let mut widx = (n - 1) >> 6;
+    for i in (0..n - 1).rev() {
+        if (i >> 6) != widx {
+            stype[widx] = word;
+            widx = i >> 6;
+            word = 0;
+        }
+        let c = text[i];
         counts[c as usize] += 1;
+        let s = c < text[i + 1] || (c == text[i + 1] && next_s);
+        word |= (s as u64) << (i & 63);
+        next_s = s;
     }
-    let mut heads = vec![0u32; sigma];
-    let mut tails = vec![0u32; sigma];
-    let mut sum = 0u32;
-    for c in 0..sigma {
-        heads[c] = sum;
-        sum += counts[c];
-        tails[c] = sum;
+    stype[widx] = word;
+    let mut prev_top = 1u64; // forces bit 0 of word 0 clear (never LMS)
+    for (w, l) in stype.iter().zip(lms.iter_mut()) {
+        *l = w & !((w << 1) | prev_top);
+        prev_top = w >> 63;
     }
-    (heads, tails)
 }
 
-const EMPTY: u32 = u32::MAX;
+/// Visit every set bit of the (level-sized) bitmap in ascending position
+/// order, whole words at a time.
+#[inline]
+fn for_each_set_bit(bits: &[u64], mut f: impl FnMut(usize)) {
+    for (w, &word) in bits.iter().enumerate() {
+        let mut rest = word;
+        while rest != 0 {
+            f((w << 6) + rest.trailing_zeros() as usize);
+            rest &= rest - 1;
+        }
+    }
+}
+
+/// Derive bucket tail cursors (`bkt[c]` = one past bucket `c`) from counts.
+fn bucket_tails(counts: &[u32], bkt: &mut Vec<u32>) {
+    bkt.clear();
+    bkt.reserve(counts.len());
+    let mut sum = 0u32;
+    for &c in counts {
+        sum += c;
+        bkt.push(sum);
+    }
+}
+
+/// Derive bucket head cursors (`bkt[c]` = first index of bucket `c`).
+fn bucket_heads(counts: &[u32], bkt: &mut Vec<u32>) {
+    bkt.clear();
+    bkt.reserve(counts.len());
+    let mut sum = 0u32;
+    for &c in counts {
+        bkt.push(sum);
+        sum += c;
+    }
+}
 
 /// Induced sort: given LMS positions placed at bucket tails, fill in L-type
-/// then S-type suffixes.
-fn induce(text: &[u32], sa: &mut [u32], stype: &[bool], heads: &[u32], tails: &[u32]) {
+/// then S-type suffixes. The head/tail cursors are derived into the shared
+/// scratch `bkt` per pass (no per-call clones).
+fn induce(text: &[u32], sa: &mut [u32], stype: &[u64], counts: &[u32], bkt: &mut Vec<u32>) {
     let n = text.len();
     // L-type: left-to-right from bucket heads.
-    let mut h = heads.to_vec();
+    bucket_heads(counts, bkt);
     for i in 0..n {
         let j = sa[i];
         if j != EMPTY && j > 0 {
             let p = (j - 1) as usize;
-            if !stype[p] {
+            if !st_get(stype, p) {
                 let c = text[p] as usize;
-                sa[h[c] as usize] = p as u32;
-                h[c] += 1;
+                sa[bkt[c] as usize] = p as u32;
+                bkt[c] += 1;
             }
         }
     }
     // S-type: right-to-left from bucket tails.
-    let mut t = tails.to_vec();
+    bucket_tails(counts, bkt);
     for i in (0..n).rev() {
         let j = sa[i];
         if j != EMPTY && j > 0 {
             let p = (j - 1) as usize;
-            if stype[p] {
+            if st_get(stype, p) {
                 let c = text[p] as usize;
-                t[c] -= 1;
-                sa[t[c] as usize] = p as u32;
+                bkt[c] -= 1;
+                sa[bkt[c] as usize] = p as u32;
             }
         }
     }
-}
-
-fn sais_main(text: &[u32], sa: &mut [u32], sigma: usize) {
-    let n = text.len();
-    if n == 1 {
-        sa[0] = 0;
-        return;
-    }
-    let stype = classify(text);
-    let (heads, tails) = bucket_bounds(text, sigma);
-
-    // Step 1: place LMS suffixes at bucket tails (arbitrary in-bucket order).
-    sa.fill(EMPTY);
-    {
-        let mut t = tails.clone();
-        for i in (1..n).rev() {
-            if is_lms(&stype, i) {
-                let c = text[i] as usize;
-                t[c] -= 1;
-                sa[t[c] as usize] = i as u32;
-            }
-        }
-    }
-    induce(text, sa, &stype, &heads, &tails);
-
-    // Step 2: compact sorted LMS positions and name LMS substrings.
-    let mut lms_sorted: Vec<u32> = sa
-        .iter()
-        .copied()
-        .filter(|&j| j != EMPTY && is_lms(&stype, j as usize))
-        .collect();
-    let n_lms = lms_sorted.len();
-    if n_lms == 0 {
-        // No LMS positions (monotone non-increasing text): the induce pass
-        // above already sorted everything.
-        return;
-    }
-    // Name: equal adjacent LMS substrings share a name.
-    let mut names = vec![EMPTY; n];
-    let mut name_count: u32 = 0;
-    {
-        let mut prev: Option<usize> = None;
-        for &jw in lms_sorted.iter() {
-            let j = jw as usize;
-            let same = match prev {
-                Some(p) => lms_substring_eq(text, &stype, p, j),
-                None => false,
-            };
-            if !same {
-                name_count += 1;
-            }
-            names[j] = name_count - 1;
-            prev = Some(j);
-        }
-    }
-
-    if (name_count as usize) < n_lms {
-        // Recurse on the reduced string of LMS names, in text order.
-        let mut reduced = Vec::with_capacity(n_lms);
-        let mut lms_positions = Vec::with_capacity(n_lms);
-        for (i, &nm) in names.iter().enumerate() {
-            if nm != EMPTY {
-                reduced.push(nm);
-                lms_positions.push(i as u32);
-            }
-        }
-        let mut sub_sa = vec![0u32; n_lms];
-        sais_main(&reduced, &mut sub_sa, name_count as usize);
-        for (k, &r) in sub_sa.iter().enumerate() {
-            lms_sorted[k] = lms_positions[r as usize];
-        }
-    }
-    // else: names are already unique, lms_sorted is correctly ordered.
-
-    // Step 3: place sorted LMS suffixes at bucket tails and induce again.
-    sa.fill(EMPTY);
-    {
-        let mut t = tails.clone();
-        for &jw in lms_sorted.iter().rev() {
-            let c = text[jw as usize] as usize;
-            t[c] -= 1;
-            sa[t[c] as usize] = jw;
-        }
-    }
-    induce(text, sa, &stype, &heads, &tails);
 }
 
 /// Compare the LMS substrings starting at `a` and `b` for equality.
-fn lms_substring_eq(text: &[u32], stype: &[bool], a: usize, b: usize) -> bool {
+fn lms_substring_eq(text: &[u32], stype: &[u64], lms: &[u64], a: usize, b: usize) -> bool {
     let n = text.len();
     if a == b {
         return true;
@@ -191,18 +215,379 @@ fn lms_substring_eq(text: &[u32], stype: &[bool], a: usize, b: usize) -> bool {
     let mut i = 0usize;
     loop {
         let (pa, pb) = (a + i, b + i);
-        let a_end = pa >= n || (i > 0 && is_lms(stype, pa));
-        let b_end = pb >= n || (i > 0 && is_lms(stype, pb));
+        let a_end = pa >= n || (i > 0 && is_lms(lms, pa));
+        let b_end = pb >= n || (i > 0 && is_lms(lms, pb));
         if a_end && b_end {
             return true;
         }
         if a_end != b_end {
             return false;
         }
-        if text[pa] != text[pb] || stype[pa] != stype[pb] {
+        if text[pa] != text[pb] || st_get(stype, pa) != st_get(stype, pb) {
             return false;
         }
         i += 1;
+    }
+}
+
+/// One SA-IS level over workspace scratch; reduced problems nest inside
+/// `sa` itself and this level's type map / counts live at `[st_off..]` /
+/// `[cnt_off..]` of the stacked arenas, so they survive the recursive
+/// call intact (see module docs).
+fn sais_lean(
+    text: &[u32],
+    sa: &mut [u32],
+    sigma: usize,
+    ws: &mut SaisWorkspace,
+    st_off: usize,
+    cnt_off: usize,
+) {
+    let n = text.len();
+    debug_assert_eq!(sa.len(), n);
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    let words = n.div_ceil(64);
+    if ws.stype.len() < st_off + words {
+        ws.stype.resize(st_off + words, 0);
+        ws.lms.resize(st_off + words, 0);
+    }
+    {
+        let (stype, lms) = (
+            &mut ws.stype[st_off..st_off + words],
+            &mut ws.lms[st_off..st_off + words],
+        );
+        if ws.counts.len() < cnt_off + sigma {
+            ws.counts.resize(cnt_off + sigma, 0);
+        }
+        classify_and_count(text, stype, lms, &mut ws.counts[cnt_off..cnt_off + sigma]);
+    }
+
+    // Step 1: place LMS suffixes at bucket tails (arbitrary in-bucket
+    // order) and induce a first, LMS-substring-sorting pass.
+    sa.fill(EMPTY);
+    bucket_tails(&ws.counts[cnt_off..cnt_off + sigma], &mut ws.bkt);
+    {
+        let lms = &ws.lms[st_off..st_off + words];
+        for_each_set_bit(lms, |i| {
+            let c = text[i] as usize;
+            ws.bkt[c] -= 1;
+            sa[ws.bkt[c] as usize] = i as u32;
+        });
+        induce(
+            text,
+            sa,
+            &ws.stype[st_off..st_off + words],
+            &ws.counts[cnt_off..cnt_off + sigma],
+            &mut ws.bkt,
+        );
+    }
+
+    // Step 2: compact the (substring-)sorted LMS positions to the front.
+    let mut m = 0usize;
+    {
+        let lms = &ws.lms[st_off..st_off + words];
+        for i in 0..n {
+            let j = sa[i];
+            if j != EMPTY && is_lms(lms, j as usize) {
+                sa[m] = j;
+                m += 1;
+            }
+        }
+    }
+    if m == 0 {
+        // No LMS positions (monotone non-increasing text): the induce pass
+        // above already sorted everything.
+        return;
+    }
+
+    // Step 3: name LMS substrings. LMS positions are >= 2 apart, so `j/2`
+    // is injective over them and the names fit in `sa[m .. m + ceil(n/2)]`
+    // (which never overlaps the compacted list: `m <= floor(n/2)`).
+    let name_slots = n.div_ceil(2);
+    debug_assert!(m + name_slots <= n);
+    for slot in sa[m..m + name_slots].iter_mut() {
+        *slot = EMPTY;
+    }
+    let mut name_count: u32 = 0;
+    {
+        let stype = &ws.stype[st_off..st_off + words];
+        let lms = &ws.lms[st_off..st_off + words];
+        let (front, back) = sa.split_at_mut(m);
+        let mut prev: Option<usize> = None;
+        for &jw in front.iter() {
+            let j = jw as usize;
+            let same = prev.is_some_and(|p| lms_substring_eq(text, stype, lms, p, j));
+            if !same {
+                name_count += 1;
+            }
+            back[j / 2] = name_count - 1;
+            prev = Some(j);
+        }
+    }
+
+    if (name_count as usize) < m {
+        // Compact the reduced string (LMS names in text order) into
+        // `sa[n-m..n]`, scanning right-to-left so the write cursor never
+        // passes the read cursor.
+        {
+            let mut w = n - 1;
+            for r in (m..m + name_slots).rev() {
+                if sa[r] != EMPTY {
+                    sa[w] = sa[r];
+                    w -= 1;
+                }
+            }
+            debug_assert_eq!(w, n - m - 1);
+        }
+        // Recurse with the sub-SA in `sa[0..m]` (m <= n-m, so the split
+        // holds both); the child's arena regions start past this level's.
+        {
+            let (front, back) = sa.split_at_mut(n - m);
+            sais_lean(
+                back,
+                &mut front[..m],
+                name_count as usize,
+                ws,
+                st_off + words,
+                cnt_off + sigma,
+            );
+        }
+        // The reduced text is spent; overwrite `sa[n-m..n]` with the LMS
+        // positions in text order, then map reduced ranks back. This
+        // level's maps are still valid (the child wrote only past them).
+        {
+            let lms = &ws.lms[st_off..st_off + words];
+            let mut k = n - m;
+            for_each_set_bit(lms, |i| {
+                sa[k] = i as u32;
+                k += 1;
+            });
+            debug_assert_eq!(k, n);
+        }
+        for i in 0..m {
+            sa[i] = sa[n - m + sa[i] as usize];
+        }
+    }
+    // else: names are already unique — `sa[0..m]` is the true LMS order.
+
+    // Step 4: scatter the sorted LMS suffixes to bucket tails and induce
+    // the final order. Processing right-to-left is collision-free: the
+    // target slot of the i-th sorted LMS is strictly increasing in i, so
+    // every write lands at an index >= the entries still to be read.
+    for slot in sa[m..].iter_mut() {
+        *slot = EMPTY;
+    }
+    bucket_tails(&ws.counts[cnt_off..cnt_off + sigma], &mut ws.bkt);
+    for i in (0..m).rev() {
+        let j = sa[i];
+        sa[i] = EMPTY;
+        let c = text[j as usize] as usize;
+        ws.bkt[c] -= 1;
+        sa[ws.bkt[c] as usize] = j;
+    }
+    induce(
+        text,
+        sa,
+        &ws.stype[st_off..st_off + words],
+        &ws.counts[cnt_off..cnt_off + sigma],
+        &mut ws.bkt,
+    );
+}
+
+/// The seed's SA-IS, kept verbatim so `cinct_bench`'s `buildpath` binary
+/// can measure the allocation-lean path against it in one binary (the
+/// PR 3 `*_reference` convention) and property tests can pin the two.
+/// Allocates per recursion level: a `Vec<bool>` type map, three bucket
+/// arrays plus per-pass clones, the name table, and the reduced problem.
+pub fn suffix_array_reference(text: &[u32], sigma: usize) -> Vec<u32> {
+    assert_input(text);
+    debug_assert!(text.iter().all(|&c| (c as usize) < sigma));
+    let mut sa = vec![0u32; text.len()];
+    reference::sais_main(text, &mut sa, sigma);
+    sa
+}
+
+/// The seed implementation, unchanged (see [`suffix_array_reference`]).
+mod reference {
+    use super::EMPTY;
+
+    /// `true` bits mark S-type suffixes.
+    fn classify(text: &[u32]) -> Vec<bool> {
+        let n = text.len();
+        let mut stype = vec![false; n];
+        stype[n - 1] = true; // the sentinel suffix is S-type by convention
+        for i in (0..n - 1).rev() {
+            stype[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && stype[i + 1]);
+        }
+        stype
+    }
+
+    /// Position `i` is LMS iff `i > 0`, `stype[i]` and `!stype[i-1]`.
+    #[inline]
+    fn is_lms(stype: &[bool], i: usize) -> bool {
+        i > 0 && stype[i] && !stype[i - 1]
+    }
+
+    /// Bucket boundaries: `heads[c]` = first index of bucket `c`,
+    /// `tails[c]` = one past the last.
+    fn bucket_bounds(text: &[u32], sigma: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut counts = vec![0u32; sigma];
+        for &c in text {
+            counts[c as usize] += 1;
+        }
+        let mut heads = vec![0u32; sigma];
+        let mut tails = vec![0u32; sigma];
+        let mut sum = 0u32;
+        for c in 0..sigma {
+            heads[c] = sum;
+            sum += counts[c];
+            tails[c] = sum;
+        }
+        (heads, tails)
+    }
+
+    /// Induced sort: given LMS positions placed at bucket tails, fill in
+    /// L-type then S-type suffixes.
+    fn induce(text: &[u32], sa: &mut [u32], stype: &[bool], heads: &[u32], tails: &[u32]) {
+        let n = text.len();
+        // L-type: left-to-right from bucket heads.
+        let mut h = heads.to_vec();
+        for i in 0..n {
+            let j = sa[i];
+            if j != EMPTY && j > 0 {
+                let p = (j - 1) as usize;
+                if !stype[p] {
+                    let c = text[p] as usize;
+                    sa[h[c] as usize] = p as u32;
+                    h[c] += 1;
+                }
+            }
+        }
+        // S-type: right-to-left from bucket tails.
+        let mut t = tails.to_vec();
+        for i in (0..n).rev() {
+            let j = sa[i];
+            if j != EMPTY && j > 0 {
+                let p = (j - 1) as usize;
+                if stype[p] {
+                    let c = text[p] as usize;
+                    t[c] -= 1;
+                    sa[t[c] as usize] = p as u32;
+                }
+            }
+        }
+    }
+
+    pub(super) fn sais_main(text: &[u32], sa: &mut [u32], sigma: usize) {
+        let n = text.len();
+        if n == 1 {
+            sa[0] = 0;
+            return;
+        }
+        let stype = classify(text);
+        let (heads, tails) = bucket_bounds(text, sigma);
+
+        // Step 1: place LMS suffixes at bucket tails (arbitrary in-bucket
+        // order).
+        sa.fill(EMPTY);
+        {
+            let mut t = tails.clone();
+            for i in (1..n).rev() {
+                if is_lms(&stype, i) {
+                    let c = text[i] as usize;
+                    t[c] -= 1;
+                    sa[t[c] as usize] = i as u32;
+                }
+            }
+        }
+        induce(text, sa, &stype, &heads, &tails);
+
+        // Step 2: compact sorted LMS positions and name LMS substrings.
+        let mut lms_sorted: Vec<u32> = sa
+            .iter()
+            .copied()
+            .filter(|&j| j != EMPTY && is_lms(&stype, j as usize))
+            .collect();
+        let n_lms = lms_sorted.len();
+        if n_lms == 0 {
+            // No LMS positions (monotone non-increasing text): the induce
+            // pass above already sorted everything.
+            return;
+        }
+        // Name: equal adjacent LMS substrings share a name.
+        let mut names = vec![EMPTY; n];
+        let mut name_count: u32 = 0;
+        {
+            let mut prev: Option<usize> = None;
+            for &jw in lms_sorted.iter() {
+                let j = jw as usize;
+                let same = match prev {
+                    Some(p) => lms_substring_eq(text, &stype, p, j),
+                    None => false,
+                };
+                if !same {
+                    name_count += 1;
+                }
+                names[j] = name_count - 1;
+                prev = Some(j);
+            }
+        }
+
+        if (name_count as usize) < n_lms {
+            // Recurse on the reduced string of LMS names, in text order.
+            let mut reduced = Vec::with_capacity(n_lms);
+            let mut lms_positions = Vec::with_capacity(n_lms);
+            for (i, &nm) in names.iter().enumerate() {
+                if nm != EMPTY {
+                    reduced.push(nm);
+                    lms_positions.push(i as u32);
+                }
+            }
+            let mut sub_sa = vec![0u32; n_lms];
+            sais_main(&reduced, &mut sub_sa, name_count as usize);
+            for (k, &r) in sub_sa.iter().enumerate() {
+                lms_sorted[k] = lms_positions[r as usize];
+            }
+        }
+        // else: names are already unique, lms_sorted is correctly ordered.
+
+        // Step 3: place sorted LMS suffixes at bucket tails and induce again.
+        sa.fill(EMPTY);
+        {
+            let mut t = tails.clone();
+            for &jw in lms_sorted.iter().rev() {
+                let c = text[jw as usize] as usize;
+                t[c] -= 1;
+                sa[t[c] as usize] = jw;
+            }
+        }
+        induce(text, sa, &stype, &heads, &tails);
+    }
+
+    /// Compare the LMS substrings starting at `a` and `b` for equality.
+    fn lms_substring_eq(text: &[u32], stype: &[bool], a: usize, b: usize) -> bool {
+        let n = text.len();
+        if a == b {
+            return true;
+        }
+        let mut i = 0usize;
+        loop {
+            let (pa, pb) = (a + i, b + i);
+            let a_end = pa >= n || (i > 0 && is_lms(stype, pa));
+            let b_end = pb >= n || (i > 0 && is_lms(stype, pb));
+            if a_end && b_end {
+                return true;
+            }
+            if a_end != b_end {
+                return false;
+            }
+            if text[pa] != text[pb] || stype[pa] != stype[pb] {
+                return false;
+            }
+            i += 1;
+        }
     }
 }
 
@@ -230,6 +615,11 @@ mod tests {
         let sa = suffix_array(&text, sigma);
         let expected = naive_suffix_array(&text);
         assert_eq!(sa, expected, "text={text:?}");
+        assert_eq!(
+            suffix_array_reference(&text, sigma),
+            expected,
+            "reference text={text:?}"
+        );
     }
 
     #[test]
@@ -302,6 +692,52 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unique minimum sentinel")]
+    fn reference_rejects_missing_sentinel() {
+        suffix_array_reference(&[2, 1, 2], 3);
+    }
+
+    #[test]
+    fn workspace_reuse_across_texts() {
+        // One workspace serves texts of different lengths and alphabets in
+        // any order (buffers must re-clear, not just grow).
+        let mut ws = SaisWorkspace::new();
+        let bodies: Vec<Vec<u32>> = vec![
+            (0..500u32).map(|i| i % 7).collect(),
+            vec![3; 40],
+            (0..1200u32).map(|i| (i * i) % 97).collect(),
+            vec![1, 2],
+        ];
+        for body in &bodies {
+            let text = with_sentinel(body);
+            let sigma = text.iter().copied().max().unwrap() as usize + 1;
+            assert_eq!(
+                suffix_array_with(&text, sigma, &mut ws),
+                naive_suffix_array(&text),
+                "body len {}",
+                body.len()
+            );
+        }
+    }
+
+    #[test]
+    fn lean_equals_reference_deep_recursion() {
+        // Fibonacci-like strings maximize LMS recursion depth.
+        let (mut a, mut b) = (vec![1u32], vec![2u32, 1]);
+        for _ in 0..12 {
+            let next = [b.clone(), a.clone()].concat();
+            a = b;
+            b = next;
+        }
+        let text = with_sentinel(&b);
+        let sigma = 4;
+        assert_eq!(
+            suffix_array(&text, sigma),
+            suffix_array_reference(&text, sigma)
+        );
+    }
+
+    #[test]
     fn large_random_consistency() {
         let mut x = 999u64;
         let body: Vec<u32> = (0..20_000)
@@ -328,5 +764,7 @@ mod tests {
             assert!(!seen[i as usize]);
             seen[i as usize] = true;
         }
+        // The seed path agrees wholesale.
+        assert_eq!(sa, suffix_array_reference(&text, sigma));
     }
 }

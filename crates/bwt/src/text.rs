@@ -33,9 +33,36 @@ impl TrajectoryString {
     /// `0..n_edges`). Empty trajectories are skipped.
     pub fn build(trajectories: &[Vec<u32>], n_edges: usize) -> Self {
         let total: usize = trajectories.iter().map(|t| t.len() + 1).sum();
-        let mut text = Vec::with_capacity(total + 1);
-        let mut starts = Vec::with_capacity(trajectories.len());
+        Self::ingest(
+            trajectories.iter().map(Vec::as_slice),
+            n_edges,
+            total + 1,
+            trajectories.len(),
+        )
+    }
+
+    /// Build from a **stream** of trajectories: each edge sequence is
+    /// folded into the concatenated string as it arrives, so corpora can
+    /// be ingested without ever materializing them as a `Vec<Vec<u32>>`
+    /// (the `cinct` builder's streaming path rides this). Empty
+    /// trajectories are skipped, as in [`TrajectoryString::build`].
+    pub fn from_iter<I, T>(trajectories: I, n_edges: usize) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        Self::ingest(trajectories, n_edges, 0, 0)
+    }
+
+    fn ingest<I, T>(trajectories: I, n_edges: usize, text_cap: usize, starts_cap: usize) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        let mut text = Vec::with_capacity(text_cap);
+        let mut starts = Vec::with_capacity(starts_cap);
         for t in trajectories {
+            let t = t.as_ref();
             if t.is_empty() {
                 continue;
             }
@@ -179,6 +206,16 @@ mod tests {
         let ts = TrajectoryString::build(&trajs, 5);
         assert_eq!(ts.num_trajectories(), 1);
         assert_eq!(ts.trajectory(0), vec![2, 3]);
+    }
+
+    #[test]
+    fn streamed_ingestion_matches_owned_build() {
+        let trajs = vec![vec![3, 1, 4], vec![], vec![1, 5], vec![9, 2, 6, 5]];
+        let owned = TrajectoryString::build(&trajs, 10);
+        let streamed = TrajectoryString::from_iter(trajs.iter().map(Vec::as_slice), 10);
+        assert_eq!(streamed.text(), owned.text());
+        assert_eq!(streamed.starts(), owned.starts());
+        assert_eq!(streamed.sigma(), owned.sigma());
     }
 
     #[test]

@@ -2,11 +2,20 @@
 //! sorting, BWT invertibility, trajectory-string bookkeeping, and entropy
 //! identities.
 
-use cinct_bwt::{bwt, entropy_h0, entropy_hk, inverse_bwt, suffix_array, CArray, TrajectoryString};
+use cinct_bwt::{
+    bwt, entropy_h0, entropy_hk, inverse_bwt, suffix_array, suffix_array_reference, CArray,
+    TrajectoryString,
+};
 use proptest::prelude::*;
 
 fn body_strategy() -> impl Strategy<Value = Vec<u32>> {
     (2u32..30).prop_flat_map(|sigma| proptest::collection::vec(0..sigma, 0..400))
+}
+
+/// Random trajectory corpora shaped like the ones RML labels: short edge
+/// walks over a small network, `$`-separated once concatenated.
+fn trajs_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..40, 1..40), 1..20)
 }
 
 fn with_sentinel(body: &[u32]) -> Vec<u32> {
@@ -15,15 +24,33 @@ fn with_sentinel(body: &[u32]) -> Vec<u32> {
     v
 }
 
+/// Both SA-IS paths (allocation-lean and seed reference) against the naive
+/// comparison sort.
+fn assert_sa_matches_naive(text: &[u32]) {
+    let sigma = text.iter().copied().max().unwrap() as usize + 1;
+    let expected = cinct_bwt::sais::naive_suffix_array(text);
+    assert_eq!(suffix_array(text, sigma), expected, "lean text={text:?}");
+    assert_eq!(
+        suffix_array_reference(text, sigma),
+        expected,
+        "reference text={text:?}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(80))]
 
     #[test]
     fn sais_equals_naive(body in body_strategy()) {
-        let text = with_sentinel(&body);
-        let sigma = text.iter().copied().max().unwrap() as usize + 1;
-        let sa = suffix_array(&text, sigma);
-        prop_assert_eq!(sa, cinct_bwt::sais::naive_suffix_array(&text));
+        assert_sa_matches_naive(&with_sentinel(&body));
+    }
+
+    #[test]
+    fn sais_equals_naive_on_trajectory_strings(trajs in trajs_strategy()) {
+        // RML-labeled corpora hit SA-IS through TrajectoryString: many
+        // repeated `$` separators and a skewed edge alphabet.
+        let ts = TrajectoryString::build(&trajs, 40);
+        assert_sa_matches_naive(ts.text());
     }
 
     #[test]
@@ -114,4 +141,26 @@ proptest! {
         let enc = TrajectoryString::encode_pattern(&path);
         prop_assert_eq!(TrajectoryString::decode_pattern(&enc), path);
     }
+}
+
+#[test]
+fn sais_sigma_one_bodies() {
+    // A single distinct body symbol (effective sigma = 1 besides the
+    // sentinel) at several lengths, including block-boundary sizes.
+    for n in [1usize, 2, 63, 64, 65, 500] {
+        assert_sa_matches_naive(&with_sentinel(&vec![1u32; n]));
+    }
+}
+
+#[test]
+fn sais_all_distinct_bodies() {
+    // Every symbol distinct: no repeated LMS substrings, so naming is
+    // injective and the recursion bottoms out immediately — in both
+    // ascending and shuffled orders.
+    let ascending: Vec<u32> = (0..200u32).collect();
+    assert_sa_matches_naive(&with_sentinel(&ascending));
+    let descending: Vec<u32> = (0..200u32).rev().collect();
+    assert_sa_matches_naive(&with_sentinel(&descending));
+    let shuffled: Vec<u32> = (0..199u32).map(|i| (i * 97) % 199).collect();
+    assert_sa_matches_naive(&with_sentinel(&shuffled));
 }

@@ -19,6 +19,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   cinct build <trajectories.txt> <index.cinct> [--block-size 15|31|63] [--locate RATE]
+              [--threads N]                    N = 0 uses all cores; output is
+                                               identical at any thread count
   cinct stats <index.cinct>
   cinct count <index.cinct> <path>          path = comma-separated edge IDs
   cinct locate <index.cinct> <path>
@@ -83,6 +85,15 @@ fn cmd_build(input: &str, output: &str, flags: &[String]) -> Result<(), String> 
                 builder = builder.locate_sampling(r);
                 i += 2;
             }
+            "--threads" => {
+                let n: usize = flags
+                    .get(i + 1)
+                    .ok_or("--threads needs a count (0 = all cores)")?
+                    .parse()
+                    .map_err(|_| "bad --threads count")?;
+                builder = builder.threads(n);
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -90,15 +101,13 @@ fn cmd_build(input: &str, output: &str, flags: &[String]) -> Result<(), String> 
     let t0 = std::time::Instant::now();
     let (index, timings) = builder.build_timed(&trajs, n_edges);
     eprintln!(
-        "built in {:.2}s (BWT {:.2}s, ET-graph {:.2}s, WT {:.2}s): {} trajectories, {} edges, {:.2} bits/symbol",
+        "built in {:.2}s: {} trajectories, {} edges, {:.2} bits/symbol",
         t0.elapsed().as_secs_f64(),
-        timings.bwt.as_secs_f64(),
-        timings.et_graph_build.as_secs_f64(),
-        timings.wt_build.as_secs_f64(),
         index.num_trajectories(),
         n_edges,
         index.bits_per_symbol()
     );
+    eprintln!("stages: {}", timings.breakdown());
     let mut f = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
     index
         .write_to(&mut f)

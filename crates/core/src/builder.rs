@@ -1,30 +1,91 @@
 //! CiNCT index construction (paper §III-A steps 1–5) with per-phase
 //! timings for the Fig. 16 construction-time breakdown.
+//!
+//! # The allocation-lean pipeline
+//!
+//! The default build keeps the peak working set near two `n`-word arrays
+//! (the text and the SA) instead of the seed's five:
+//!
+//! 1. **SA** via the workspace SA-IS ([`cinct_bwt::suffix_array_with`]) —
+//!    no per-recursion-level allocations;
+//! 2. **trajectory directory** read straight out of the SA's separator
+//!    rows (the seed materialized a full n-word inverse suffix array just
+//!    to look up one row per trajectory);
+//! 3. **BWT in place**: the SA buffer *becomes* the BWT
+//!    ([`cinct_bwt::bwt_replace_sa`]) once the directory and the optional
+//!    SA samples are extracted;
+//! 4. **labeling fused with Z-terms, in place**: one context-block scan
+//!    rewrites the BWT buffer into `φ(T_bwt)` while accumulating every
+//!    correction term `Z_{w′w}` (paper Eq. (7)) — the seed wrote a fresh
+//!    labeled copy and then re-scanned both arrays;
+//! 5. **wavelet tree** over the (now labeled) buffer, optionally
+//!    multi-threaded via [`CinctBuilder::threads`] — parallel builds are
+//!    byte-identical to sequential ones (see `cinct_succinct::parbuild`).
+//!
+//! The seed pipeline survives as [`CinctBuilder::build_timed_reference`]
+//! so `cinct_bench`'s `buildpath` binary can measure both in one binary;
+//! tests pin the two (and every thread count) to byte-identical
+//! serialized indexes.
 
 use crate::index::{CinctIndex, SaSamples};
 use crate::rml::{LabelingStrategy, Rml};
-use cinct_bwt::{bwt_from_sa, suffix_array, CArray, TrajectoryString};
+use cinct_bwt::{
+    bwt_from_sa, bwt_replace_sa, suffix_array_reference, suffix_array_with, CArray, SaisWorkspace,
+    TrajectoryString,
+};
 use cinct_fmindex::QueryError;
 use cinct_succinct::{BitBuf, HuffmanWaveletTree, IntVec, RankBitVec, RrrBitVec};
 use std::time::{Duration, Instant};
 
-/// Wall-clock spent in each construction phase (paper Fig. 16 splits the
-/// bars into `BWT`, `WT-build`, and `ET-graph-build`).
+/// Wall-clock spent in each construction phase. The paper's Fig. 16
+/// splits its bars into `BWT`, `WT-build`, and `ET-graph-build`; this
+/// breakdown is finer so build regressions localize to a stage:
+/// corpus ingestion, suffix array, BWT derivation, RML/ET-graph labeling,
+/// succinct-structure build, and the trajectory directory + SA samples.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ConstructionTimings {
-    /// Suffix array + BWT.
+    /// Corpus ingestion: concatenating (reversed) trajectories into the
+    /// trajectory string. Zero when the caller supplied a prepared string.
+    pub ingest: Duration,
+    /// Suffix-array construction (SA-IS).
+    pub sa: Duration,
+    /// BWT derivation from the SA plus the `C` array.
     pub bwt: Duration,
-    /// ET-graph construction, labeling, and `Z`-term computation — all
+    /// ET-graph construction, RML labeling, and `Z`-term computation — all
     /// operations the other FM-index variants do not need.
     pub et_graph_build: Duration,
     /// Wavelet-tree construction over the labeled BWT.
     pub wt_build: Duration,
+    /// Trajectory directory + optional SA samples.
+    pub directory: Duration,
 }
 
 impl ConstructionTimings {
     /// Total construction time.
     pub fn total(&self) -> Duration {
-        self.bwt + self.et_graph_build + self.wt_build
+        self.ingest + self.sa + self.bwt + self.et_graph_build + self.wt_build + self.directory
+    }
+
+    /// Suffix array + BWT derivation combined (the two halves of what a
+    /// coarser breakdown would call the BWT phase; `fig16` folds
+    /// `ingest`/`directory` in as well so its columns sum to the total).
+    pub fn sa_plus_bwt(&self) -> Duration {
+        self.sa + self.bwt
+    }
+
+    /// Render the per-stage breakdown as one human-readable line (the CLI
+    /// `build` path and the `buildpath` bench both print this).
+    pub fn breakdown(&self) -> String {
+        format!(
+            "ingest {:.3}s, SA {:.3}s, BWT {:.3}s, ET-graph/labeling {:.3}s, \
+             succinct structures {:.3}s, directory {:.3}s",
+            self.ingest.as_secs_f64(),
+            self.sa.as_secs_f64(),
+            self.bwt.as_secs_f64(),
+            self.et_graph_build.as_secs_f64(),
+            self.wt_build.as_secs_f64(),
+            self.directory.as_secs_f64(),
+        )
     }
 }
 
@@ -34,6 +95,7 @@ pub struct CinctBuilder {
     labeling: LabelingStrategy,
     block_size: usize,
     locate_sampling: Option<usize>,
+    threads: usize,
 }
 
 impl Default for CinctBuilder {
@@ -42,12 +104,14 @@ impl Default for CinctBuilder {
             labeling: LabelingStrategy::BigramSorted,
             block_size: 63,
             locate_sampling: None,
+            threads: 1,
         }
     }
 }
 
 impl CinctBuilder {
-    /// Default configuration: bigram-sorted RML, `b = 63`, no locate.
+    /// Default configuration: bigram-sorted RML, `b = 63`, no locate,
+    /// single-threaded construction.
     pub fn new() -> Self {
         Self::default()
     }
@@ -70,6 +134,15 @@ impl CinctBuilder {
     pub fn locate_sampling(mut self, rate: usize) -> Self {
         assert!(rate >= 1);
         self.locate_sampling = Some(rate);
+        self
+    }
+
+    /// Build the succinct structures with up to `n` worker threads (`0` =
+    /// the machine's available parallelism, `1` = sequential, the
+    /// default). Any thread count produces a **byte-identical** serialized
+    /// index; only wall-clock differs.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
         self
     }
 
@@ -116,8 +189,35 @@ impl CinctBuilder {
         trajectories: &[Vec<u32>],
         n_edges: usize,
     ) -> (CinctIndex, ConstructionTimings) {
+        let t0 = Instant::now();
         let ts = TrajectoryString::build(trajectories, n_edges);
-        self.build_from_trajectory_string(&ts, n_edges)
+        let ingest = t0.elapsed();
+        let (index, mut timings) = self.build_from_trajectory_string(&ts, n_edges);
+        timings.ingest = ingest;
+        (index, timings)
+    }
+
+    /// Build from a **stream** of trajectories: edge sequences are folded
+    /// into the (reversed, `$`-separated) trajectory string as they
+    /// arrive, so the caller never has to materialize the whole corpus as
+    /// a `Vec<Vec<u32>>` alongside the index's own arrays. Everything
+    /// downstream is the allocation-lean pipeline of
+    /// [`CinctBuilder::build_from_trajectory_string`].
+    pub fn build_streamed<I, T>(
+        self,
+        trajectories: I,
+        n_edges: usize,
+    ) -> (CinctIndex, ConstructionTimings)
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        let t0 = Instant::now();
+        let ts = TrajectoryString::from_iter(trajectories, n_edges);
+        let ingest = t0.elapsed();
+        let (index, mut timings) = self.build_from_trajectory_string(&ts, n_edges);
+        timings.ingest = ingest;
+        (index, timings)
     }
 
     /// Build from a prepared trajectory string (lets callers share the
@@ -128,30 +228,157 @@ impl CinctBuilder {
         n_edges: usize,
     ) -> (CinctIndex, ConstructionTimings) {
         let mut timings = ConstructionTimings::default();
+        let text = ts.text();
+        let sigma = ts.sigma();
+        let n = text.len();
 
-        // Steps 1–2: trajectory string → BWT.
+        // Step 1–2a: suffix array (workspace SA-IS, no per-level allocs).
+        let t0 = Instant::now();
+        let mut ws = SaisWorkspace::new();
+        let mut sa = suffix_array_with(text, sigma, &mut ws);
+        drop(ws);
+        timings.sa = t0.elapsed();
+
+        // Symbol counts; needed by the directory (separator rows) and by
+        // every later stage. Accounted with the BWT stage, matching the
+        // reference pipeline's breakdown.
+        let t0 = Instant::now();
+        let c = CArray::new(text, sigma);
+        timings.bwt = t0.elapsed();
+
+        // Trajectory directory: the BWT row of trajectory `k`'s closing
+        // `$` is `ISA[end_k]`. Every `$` position is some trajectory's
+        // end, and their rows are exactly the `$` context block of the
+        // SA — so one scan of that block replaces the seed's full n-word
+        // inverse suffix array.
+        let t0 = Instant::now();
+        let starts = ts.starts();
+        let ends: Vec<u32> = starts
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| {
+                let end = starts.get(k + 1).map_or(n - 2, |&next| next as usize - 1);
+                debug_assert_eq!(text[end], cinct_bwt::SEPARATOR);
+                debug_assert!(end > s as usize);
+                end as u32
+            })
+            .collect();
+        let mut traj_rows = vec![0u32; ends.len()];
+        for row in c.symbol_range(cinct_bwt::SEPARATOR) {
+            let pos = sa[row];
+            let k = ends
+                .binary_search(&pos)
+                .expect("separator position is a trajectory end");
+            traj_rows[k] = row as u32;
+        }
+
+        // Optional SA samples for locate.
+        let samples = self.locate_sampling.map(|rate| {
+            let mut marked = BitBuf::zeros(n);
+            let mut values = IntVec::with_capacity(IntVec::width_for(n as u64), n / rate + 1);
+            for (row, &pos) in sa.iter().enumerate() {
+                if (pos as usize).is_multiple_of(rate) {
+                    marked.set(row, true);
+                    values.push(pos as u64);
+                }
+            }
+            values.shrink_to_fit();
+            SaSamples {
+                marked: RankBitVec::new(marked),
+                values,
+                rate,
+            }
+        });
+        timings.directory = t0.elapsed();
+
+        // Step 2b: the SA is spent — derive the BWT into the same buffer.
+        let t0 = Instant::now();
+        bwt_replace_sa(text, &mut sa);
+        let mut labeled = sa; // T_bwt for now; labeled in place below
+        timings.bwt += t0.elapsed();
+
+        // Steps 3–4: ET-graph straight from the BWT's context blocks (no
+        // hashed bigram map), then one fused scan rewrites `T_bwt` into
+        // `φ(T_bwt)` while accumulating every `Z` term.
+        let t0 = Instant::now();
+        let mut rml = Rml::from_bwt(&labeled, &c, self.labeling);
+        label_and_z_in_place(&mut rml, &mut labeled, &c);
+        timings.et_graph_build = t0.elapsed();
+
+        // Step 5: compressed wavelet tree (optionally multi-threaded).
+        let t0 = Instant::now();
+        let wt = HuffmanWaveletTree::<RrrBitVec>::with_params_mt(
+            &labeled,
+            self.block_size,
+            self.threads,
+        );
+        timings.wt_build = t0.elapsed();
+
+        let index = CinctIndex {
+            c,
+            labeled: wt,
+            rml,
+            traj_starts: starts.to_vec(),
+            traj_rows,
+            samples,
+            n_network_edges: n_edges,
+        };
+        (index, timings)
+    }
+
+    /// The **seed-equivalent** pipeline, kept verbatim for the `buildpath`
+    /// bench (optimized-vs-seed in one binary, the PR 3 `*_reference`
+    /// convention): allocation-heavy recursive SA-IS, a separate BWT copy,
+    /// a separate labeled copy plus a second Z-term scan, a full n-word
+    /// ISA for the trajectory directory, and a single-threaded wavelet
+    /// tree. Produces a byte-identical index (pinned by tests); nothing
+    /// but benches and tests should call it.
+    pub fn build_timed_reference(
+        self,
+        trajectories: &[Vec<u32>],
+        n_edges: usize,
+    ) -> (CinctIndex, ConstructionTimings) {
+        let t0 = Instant::now();
+        let ts = TrajectoryString::build(trajectories, n_edges);
+        let ingest = t0.elapsed();
+        let (index, mut timings) = self.build_from_trajectory_string_reference(&ts, n_edges);
+        timings.ingest = ingest;
+        (index, timings)
+    }
+
+    /// See [`CinctBuilder::build_timed_reference`].
+    pub fn build_from_trajectory_string_reference(
+        self,
+        ts: &TrajectoryString,
+        n_edges: usize,
+    ) -> (CinctIndex, ConstructionTimings) {
+        let mut timings = ConstructionTimings::default();
+
+        // Steps 1–2: trajectory string → BWT (fresh allocations each).
         let t0 = Instant::now();
         let text = ts.text();
         let sigma = ts.sigma();
-        let sa = suffix_array(text, sigma);
+        let sa = suffix_array_reference(text, sigma);
+        timings.sa = t0.elapsed();
+        let t0 = Instant::now();
         let tbwt = bwt_from_sa(text, &sa);
         let c = CArray::new(text, sigma);
         timings.bwt = t0.elapsed();
 
-        // Steps 3–4: ET-graph, RML, labeled BWT, Z terms.
+        // Steps 3–4: ET-graph, RML, labeled BWT copy, Z terms (re-scan).
         let t0 = Instant::now();
         let mut rml = Rml::from_text(text, sigma, self.labeling);
         let labeled = rml.label_bwt(&tbwt, &c);
         compute_z_terms(&mut rml, &tbwt, &labeled, &c);
         timings.et_graph_build = t0.elapsed();
 
-        // Step 5: compressed wavelet tree.
+        // Step 5: compressed wavelet tree (sequential).
         let t0 = Instant::now();
         let wt = HuffmanWaveletTree::<RrrBitVec>::with_params(&labeled, self.block_size);
         timings.wt_build = t0.elapsed();
 
-        // Trajectory directory: the BWT row of each trajectory's closing `$`
-        // is ISA[start of next unit], derived from the SA we already have.
+        // Trajectory directory via a full inverse suffix array.
+        let t0 = Instant::now();
         let n = text.len();
         let mut isa = vec![0u32; n];
         for (row, &pos) in sa.iter().enumerate() {
@@ -192,6 +419,7 @@ impl CinctBuilder {
                 rate,
             }
         });
+        timings.directory = t0.elapsed();
 
         let index = CinctIndex {
             c,
@@ -206,10 +434,52 @@ impl CinctBuilder {
     }
 }
 
+/// One fused context-block scan (the optimized pipeline's steps 3–4):
+/// rewrite `T_bwt` into `φ(T_bwt)` **in place** while accumulating every
+/// correction term `Z_{w′w}` (paper Eq. (7)). At each block boundary
+/// `j = C[w′]` the running counters hold `rank_η(φ(T_bwt), j)` and
+/// `rank_w(T_bwt, j)` for every `η`/`w` — exactly the Z-term operands —
+/// so no second pass over the two arrays is needed.
+fn label_and_z_in_place(rml: &mut Rml, tbwt: &mut [u32], c: &CArray) {
+    let sigma = c.sigma();
+    let max_label = rml.graph().max_out_degree();
+    let mut label_counts = vec![0u64; max_label + 1];
+    let mut sym_counts = vec![0u64; sigma];
+    // Dense symbol→label map for the current block: O(1) per position
+    // instead of the seed's per-position adjacency-row scan. Installed and
+    // cleared per block (O(E) total).
+    let mut map = vec![0u32; sigma];
+    let mut zs: Vec<i64> = Vec::with_capacity(rml.graph().num_edges());
+    for w_prime in 0..sigma as u32 {
+        let graph = rml.graph();
+        let degree = graph.out_degree(w_prime);
+        for k in 0..degree {
+            let label = k as u32 + 1;
+            let w = graph.decode(label, w_prime);
+            zs.push(label_counts[label as usize] as i64 - sym_counts[w as usize] as i64);
+            map[w as usize] = label;
+        }
+        for j in c.symbol_range(w_prime) {
+            let w = tbwt[j];
+            let label = map[w as usize];
+            debug_assert!(label > 0, "BWT transition must exist in the ET-graph");
+            sym_counts[w as usize] += 1;
+            label_counts[label as usize] += 1;
+            tbwt[j] = label;
+        }
+        let graph = rml.graph();
+        for k in 0..degree {
+            map[graph.decode(k as u32 + 1, w_prime) as usize] = 0;
+        }
+    }
+    rml.graph_mut().attach_z_terms(&zs);
+}
+
 /// Compute every correction term `Z_{w′w}` (paper Eq. (7)) in one linear
 /// scan over the BWT: at each context-block boundary `j = C[w′]`, for each
 /// out-edge `(w′, w)` with label `η`,
-/// `Z = rank_η(φ(T_bwt), C[w′]) − rank_w(T_bwt, C[w′])`.
+/// `Z = rank_η(φ(T_bwt), C[w′]) − rank_w(T_bwt, C[w′])`. The seed's
+/// separate pass, kept for the reference pipeline.
 fn compute_z_terms(rml: &mut Rml, tbwt: &[u32], labeled: &[u32], c: &CArray) {
     let sigma = c.sigma();
     let max_label = labeled.iter().copied().max().unwrap_or(1) as usize;
@@ -242,6 +512,36 @@ mod tests {
 
     fn paper_trajs() -> Vec<Vec<u32>> {
         vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
+    }
+
+    /// A mid-size pseudo-random corpus for pipeline-equivalence tests.
+    fn synthetic_trajs(n_trajs: usize, n_edges: u32, seed: u64) -> Vec<Vec<u32>> {
+        let mut x = seed | 1;
+        (0..n_trajs)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let len = 3 + ((x >> 33) % 40) as usize;
+                let mut cur = ((x >> 20) as u32) % n_edges;
+                (0..len)
+                    .map(|_| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        // Walk-like: move to one of a few successors.
+                        cur = (cur * 4 + 1 + ((x >> 33) as u32) % 4) % n_edges;
+                        cur
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn serialize(idx: &CinctIndex) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).expect("in-memory write");
+        bytes
     }
 
     #[test]
@@ -277,9 +577,25 @@ mod tests {
     #[test]
     fn timings_cover_all_phases() {
         let (_, t) = CinctBuilder::new().build_timed(&paper_trajs(), 6);
-        assert!(t.total() >= t.bwt);
-        assert!(t.total() >= t.wt_build);
-        assert!(t.total() >= t.et_graph_build);
+        for stage in [
+            t.ingest,
+            t.sa,
+            t.bwt,
+            t.et_graph_build,
+            t.wt_build,
+            t.directory,
+        ] {
+            assert!(t.total() >= stage);
+        }
+        assert_eq!(
+            t.total(),
+            t.ingest + t.sa_plus_bwt() + t.et_graph_build + t.wt_build + t.directory
+        );
+        // Every stage appears in the human-readable breakdown.
+        let line = t.breakdown();
+        for key in ["ingest", "SA", "BWT", "ET-graph", "succinct", "directory"] {
+            assert!(line.contains(key), "breakdown missing {key}: {line}");
+        }
     }
 
     #[test]
@@ -289,6 +605,50 @@ mod tests {
         let i2 = b.build(&paper_trajs(), 6);
         assert_eq!(i1.core_size_in_bytes(), i2.core_size_in_bytes());
         assert_eq!(i1.path_range(&[0, 1]), i2.path_range(&[0, 1]));
+    }
+
+    #[test]
+    fn optimized_pipeline_matches_reference_bytes() {
+        // The allocation-lean pipeline (in-place BWT, fused labeling+Z,
+        // separator-row directory) must produce the same index as the
+        // seed pipeline, byte for byte — with and without locate support.
+        let trajs = synthetic_trajs(120, 50, 7);
+        for builder in [
+            CinctBuilder::new(),
+            CinctBuilder::new().block_size(15).locate_sampling(4),
+        ] {
+            let (opt, _) = builder.build_timed(&trajs, 50);
+            let (reference, _) = builder.build_timed_reference(&trajs, 50);
+            assert_eq!(serialize(&opt), serialize(&reference));
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_across_block_sizes() {
+        // Determinism gate: a parallel-built CinctIndex serializes
+        // byte-identical to the sequential build for b ∈ {15, 31, 63}.
+        let trajs = synthetic_trajs(400, 80, 21);
+        for b in [15usize, 31, 63] {
+            let base = CinctBuilder::new().block_size(b).locate_sampling(8);
+            let seq_bytes = serialize(&base.build(&trajs, 80));
+            for threads in [2usize, 4, 8, 0] {
+                let par_bytes = serialize(&base.threads(threads).build(&trajs, 80));
+                assert_eq!(par_bytes, seq_bytes, "b={b} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_build_matches_owned_build() {
+        let trajs = synthetic_trajs(60, 30, 3);
+        let (owned, _) = CinctBuilder::new()
+            .locate_sampling(4)
+            .build_timed(&trajs, 30);
+        let (streamed, timings) = CinctBuilder::new()
+            .locate_sampling(4)
+            .build_streamed(trajs.iter().map(Vec::as_slice), 30);
+        assert_eq!(serialize(&owned), serialize(&streamed));
+        assert!(timings.total() >= timings.ingest);
     }
 
     #[test]

@@ -41,7 +41,42 @@ pub struct Rml {
 impl Rml {
     /// Build φ from a trajectory string (bigram counting + ordering).
     pub fn from_text(text: &[u32], sigma: usize, strategy: LabelingStrategy) -> Self {
-        let mut graph = EtGraph::from_text(text, sigma);
+        let graph = EtGraph::from_text(text, sigma);
+        Self::with_strategy(graph, strategy)
+    }
+
+    /// Build φ straight from the BWT and its context structure. Every BWT
+    /// position `j` in context block `w′` carries the cyclic bigram
+    /// `(T_bwt[j], w′)`, so per-block symbol tallies reproduce exactly the
+    /// bigram counts of [`Rml::from_text`] (cyclic wrap included) — with
+    /// one dense-scratch pass instead of a hashed map over `n` bigrams.
+    /// The optimized construction pipeline rides this; the resulting
+    /// labeling is **identical** to the text path's (pinned by tests).
+    pub fn from_bwt(tbwt: &[u32], c: &CArray, strategy: LabelingStrategy) -> Self {
+        let sigma = c.sigma();
+        let mut scratch = vec![0u64; sigma];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut edges: Vec<((u32, u32), u64)> = Vec::new();
+        for w_prime in 0..sigma as u32 {
+            for j in c.symbol_range(w_prime) {
+                let w = tbwt[j];
+                if scratch[w as usize] == 0 {
+                    touched.push(w);
+                }
+                scratch[w as usize] += 1;
+            }
+            for &w in &touched {
+                edges.push(((w_prime, w), scratch[w as usize]));
+                scratch[w as usize] = 0;
+            }
+            touched.clear();
+        }
+        let graph = EtGraph::from_bigrams(edges.into_iter(), sigma);
+        Self::with_strategy(graph, strategy)
+    }
+
+    /// Apply the labeling strategy to a frequency-sorted graph.
+    fn with_strategy(mut graph: EtGraph, strategy: LabelingStrategy) -> Self {
         if let LabelingStrategy::Random { seed } = strategy {
             // Fisher–Yates with a splitmix-style stream per vertex.
             graph.permute_labels(|v, list| {
@@ -259,6 +294,32 @@ mod tests {
                 h_sorted <= h_rand + 1e-9,
                 "seed {seed}: sorted {h_sorted} > random {h_rand}"
             );
+        }
+    }
+
+    #[test]
+    fn from_bwt_matches_from_text() {
+        // The BWT-context construction must reproduce the text-bigram
+        // construction exactly — same labels, Z slots, and counts — for
+        // both strategies.
+        let (text, sigma, tbwt, c) = paper_setup();
+        for strategy in [
+            LabelingStrategy::BigramSorted,
+            LabelingStrategy::Random { seed: 11 },
+        ] {
+            let a = Rml::from_text(&text, sigma, strategy);
+            let b = Rml::from_bwt(&tbwt, &c, strategy);
+            assert_eq!(a.graph().num_edges(), b.graph().num_edges());
+            for w_prime in 0..sigma as u32 {
+                assert_eq!(a.graph().out(w_prime), b.graph().out(w_prime), "{w_prime}");
+                for (k, _) in a.graph().out(w_prime).iter().enumerate() {
+                    let label = k as u32 + 1;
+                    assert_eq!(
+                        a.graph().bigram_count(label, w_prime),
+                        b.graph().bigram_count(label, w_prime)
+                    );
+                }
+            }
         }
     }
 

@@ -154,6 +154,23 @@ impl BitBuf {
     pub fn shrink_to_fit(&mut self) {
         self.words.shrink_to_fit();
     }
+
+    /// Append every bit of `other`, word-chunked (64 bits per step, not
+    /// bit-by-bit). This is the stitch primitive of the parallel builders:
+    /// per-shard buffers concatenate in shard order, so the combined
+    /// stream is identical to a sequential build's.
+    pub fn append(&mut self, other: &BitBuf) {
+        self.words
+            .reserve((self.len + other.len).div_ceil(64) - self.words.len());
+        let mut i = 0usize;
+        while i + 64 <= other.len {
+            self.push_bits(other.get_bits(i, 64), 64);
+            i += 64;
+        }
+        if i < other.len {
+            self.push_bits(other.get_bits(i, other.len - i), other.len - i);
+        }
+    }
 }
 
 impl SpaceUsage for BitBuf {
@@ -241,6 +258,21 @@ mod tests {
         let b = BitBuf::from_bools(bits.iter().copied());
         let back: Vec<bool> = b.iter().collect();
         assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn append_matches_pushes() {
+        // Appends at every word-phase offset, including empty operands.
+        for head_len in [0usize, 1, 63, 64, 65, 130] {
+            for tail_len in [0usize, 1, 64, 100, 129] {
+                let head = BitBuf::from_bools((0..head_len).map(|i| i % 3 == 0));
+                let tail = BitBuf::from_bools((0..tail_len).map(|i| i % 5 < 2));
+                let mut joined = head.clone();
+                joined.append(&tail);
+                let expect = BitBuf::from_bools(head.iter().chain(tail.iter()));
+                assert_eq!(joined, expect, "head={head_len} tail={tail_len}");
+            }
+        }
     }
 
     #[test]

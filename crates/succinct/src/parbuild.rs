@@ -1,0 +1,144 @@
+//! Shared machinery for multi-threaded structure construction.
+//!
+//! Every parallel builder in this crate follows one discipline: the input
+//! is cut into **contiguous shards**, each shard is processed
+//! independently on the rayon fork-join scope, and the per-shard outputs
+//! are **stitched back in shard order**. Because shard boundaries never
+//! change an element's relative order, the stitched result is identical —
+//! byte-for-byte once serialized — to a sequential build; thread count
+//! only affects wall-clock. Tests in `rrr`, `wavelet_tree`,
+//! `wavelet_matrix`, and `cinct`'s builder pin that invariant.
+
+use crate::bits::BitBuf;
+use crate::traits::Symbol;
+
+/// One shard's partition output: its bit run and routed buckets.
+type Shard = (BitBuf, Vec<Symbol>, Vec<Symbol>);
+
+/// Below this many items a parallel partition costs more in thread spawns
+/// than it saves (the rayon shim spawns OS threads per scope).
+pub(crate) const PAR_MIN_ITEMS: usize = 1 << 16;
+
+/// Resolve a thread-count knob: `0` = available parallelism.
+pub(crate) fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+}
+
+/// Partition one wavelet node/level: emit `pred(s)` per symbol into a bit
+/// buffer and route symbols to the zero/one bucket (each optionally
+/// suppressed when the consumer discards that side). Sequential kernel.
+fn partition_chunk<F: Fn(Symbol) -> bool>(
+    seq: &[Symbol],
+    pred: &F,
+    keep_zeros: bool,
+    keep_ones: bool,
+) -> Shard {
+    let mut bits = BitBuf::with_capacity(seq.len());
+    // A kept bucket holds at most the whole chunk and typically about
+    // half; seeding half the capacity keeps realloc churn to one final
+    // doubling in the worst case instead of a full geometric climb.
+    let mut zeros = Vec::with_capacity(if keep_zeros { seq.len() / 2 + 1 } else { 0 });
+    let mut ones = Vec::with_capacity(if keep_ones { seq.len() / 2 + 1 } else { 0 });
+    // Emitted bits accumulate in a register and land 64 at a time — no
+    // per-bit word indexing or grow checks.
+    let mut word = 0u64;
+    let mut fill = 0usize;
+    for &s in seq {
+        let bit = pred(s);
+        word |= (bit as u64) << fill;
+        fill += 1;
+        if fill == 64 {
+            bits.push_bits(word, 64);
+            word = 0;
+            fill = 0;
+        }
+        if bit {
+            if keep_ones {
+                ones.push(s);
+            }
+        } else if keep_zeros {
+            zeros.push(s);
+        }
+    }
+    if fill > 0 {
+        bits.push_bits(word, fill);
+    }
+    (bits, zeros, ones)
+}
+
+/// [`partition_chunk`] sharded across up to `threads` workers and stitched
+/// in shard order (deterministic: output equals the sequential kernel's).
+pub(crate) fn partition_by<F>(
+    seq: &[Symbol],
+    pred: F,
+    keep_zeros: bool,
+    keep_ones: bool,
+    threads: usize,
+) -> Shard
+where
+    F: Fn(Symbol) -> bool + Sync,
+{
+    let threads = effective_threads(threads);
+    if threads <= 1 || seq.len() < PAR_MIN_ITEMS {
+        return partition_chunk(seq, &pred, keep_zeros, keep_ones);
+    }
+    let per = seq.len().div_ceil(threads);
+    let n_shards = seq.len().div_ceil(per);
+    let mut shards: Vec<Option<Shard>> = vec![None; n_shards];
+    let pred = &pred;
+    rayon::scope(|s| {
+        for (chunk, slot) in seq.chunks(per).zip(shards.iter_mut()) {
+            s.spawn(move |_| {
+                *slot = Some(partition_chunk(chunk, pred, keep_zeros, keep_ones));
+            });
+        }
+    });
+    let mut bits = BitBuf::with_capacity(seq.len());
+    // Exact stitch capacities are known once the shards are in.
+    let (zeros_total, ones_total) = shards
+        .iter()
+        .flatten()
+        .fold((0, 0), |(z, o), s| (z + s.1.len(), o + s.2.len()));
+    let mut zeros = Vec::with_capacity(zeros_total);
+    let mut ones = Vec::with_capacity(ones_total);
+    for shard in shards {
+        let (b, z, o) = shard.expect("every shard spawned");
+        bits.append(&b);
+        zeros.extend_from_slice(&z);
+        ones.extend_from_slice(&o);
+    }
+    (bits, zeros, ones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_partition_equals_sequential() {
+        let seq: Vec<Symbol> = (0..200_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 97)
+            .collect();
+        let pred = |s: Symbol| s.is_multiple_of(3);
+        let seq_out = partition_chunk(&seq, &pred, true, true);
+        for threads in [2usize, 3, 8] {
+            let par_out = partition_by(&seq, pred, true, true, threads);
+            assert_eq!(par_out.0, seq_out.0, "bits at {threads} threads");
+            assert_eq!(par_out.1, seq_out.1, "zeros at {threads} threads");
+            assert_eq!(par_out.2, seq_out.2, "ones at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn suppressed_buckets_stay_empty() {
+        let seq: Vec<Symbol> = (0..100_000u32).collect();
+        let (bits, zeros, ones) = partition_by(&seq, |s| s % 2 == 1, false, true, 4);
+        assert_eq!(bits.len(), seq.len());
+        assert!(zeros.is_empty());
+        assert_eq!(ones.len(), seq.len() / 2);
+    }
+}

@@ -170,20 +170,21 @@ fn offset_width(b: usize, c: usize, binom: &BinomialTable) -> usize {
     }
 }
 
-/// Encode a block of `b` bits (LSB-first in `block`) with class `c` into its
-/// enumerative offset.
+/// Encode a block of `b` bits (LSB-first in `block`) with class `c` into
+/// its enumerative offset. Only set bits contribute (skipping a zero at
+/// `pos` adds `C(b-1-pos, c)` exactly when the bit at `pos` is one), so
+/// the walk is popcount-guided — `c` table adds per block, not `b` — and
+/// the skewed wavelet bitmaps CiNCT builds (H0 ≪ 1) encode in a handful
+/// of steps. `c` must equal `block.count_ones()`.
 #[inline]
-fn encode_block(block: u64, b: usize, mut c: usize, binom: &BinomialTable) -> u64 {
+fn encode_block(mut block: u64, b: usize, mut c: usize) -> u64 {
+    let rows = binom_rows();
     let mut offset = 0u64;
-    for pos in 0..b {
-        if c == 0 {
-            break;
-        }
-        if (block >> pos) & 1 == 1 {
-            // Skip all combinations whose bit at `pos` is 0: C(b-1-pos, c).
-            offset += binom.get(b - 1 - pos, c);
-            c -= 1;
-        }
+    while block != 0 {
+        let pos = block.trailing_zeros() as usize;
+        offset += rows[c & 63][(b - 1 - pos) & 63];
+        c -= 1;
+        block &= block - 1;
     }
     offset
 }
@@ -555,6 +556,40 @@ pub struct RrrBitVec {
     ones: usize,
 }
 
+/// Below this many blocks a sharded build costs more in thread spawns than
+/// the encode saves.
+const PAR_BUILD_MIN_BLOCKS: usize = 1 << 13;
+
+/// Encode blocks `[start_blk, end_blk)` of `bits` into packed classes +
+/// offsets; the shard kernel of both the sequential and the parallel build
+/// (identical output streams by construction). Returns the shard's ones.
+fn encode_blocks(
+    bits: &BitBuf,
+    b: usize,
+    class_width: usize,
+    start_blk: usize,
+    end_blk: usize,
+    binom: &BinomialTable,
+) -> (BitBuf, BitBuf, u64) {
+    let len = bits.len();
+    let mut classes = BitBuf::with_capacity((end_blk - start_blk) * class_width);
+    let mut offsets = BitBuf::new();
+    let mut ones = 0u64;
+    for blk in start_blk..end_blk {
+        let start = blk * b;
+        let width = b.min(len - start);
+        // Bits beyond `len` in the last block are implicit zeros.
+        let word = bits.get_bits(start, width);
+        let c = word.count_ones() as usize;
+        classes.push_bits(c as u64, class_width);
+        let ow = offset_width(b, c, binom);
+        let off = encode_block(word, b, c);
+        offsets.push_bits(off, ow);
+        ones += c as u64;
+    }
+    (classes, offsets, ones)
+}
+
 impl RrrBitVec {
     /// Compress `bits` with block size `b` (clamped to `1..=63`).
     pub fn new(bits: &BitBuf, b: usize) -> Self {
@@ -562,25 +597,70 @@ impl RrrBitVec {
         Self::build_with(bits, b, binom())
     }
 
-    fn build_with(bits: &BitBuf, b: usize, binom: &BinomialTable) -> Self {
-        let len = bits.len();
-        let n_blocks = len.div_ceil(b);
+    /// [`RrrBitVec::new`] with block classification + enumerative encoding
+    /// sharded across up to `threads` workers (`0` = available
+    /// parallelism). Shards are contiguous block ranges stitched back in
+    /// block order, so the packed class/offset streams — and therefore the
+    /// serialized bytes — are **identical** to a sequential build's at any
+    /// thread count (pinned by tests).
+    pub fn with_threads(bits: &BitBuf, b: usize, threads: usize) -> Self {
+        let b = b.clamp(1, 63);
+        let threads = crate::parbuild::effective_threads(threads);
+        let n_blocks = bits.len().div_ceil(b);
+        if threads <= 1 || n_blocks < PAR_BUILD_MIN_BLOCKS {
+            return Self::build_with(bits, b, binom());
+        }
+        let binom = binom();
+        let per = n_blocks.div_ceil(threads);
+        let n_shards = n_blocks.div_ceil(per);
         let class_width = (64 - (b as u64).leading_zeros() as usize).max(1);
+        let mut shards: Vec<Option<(BitBuf, BitBuf, u64)>> = vec![None; n_shards];
+        rayon::scope(|s| {
+            for (k, slot) in shards.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    let start_blk = k * per;
+                    let end_blk = ((k + 1) * per).min(n_blocks);
+                    *slot = Some(encode_blocks(
+                        bits,
+                        b,
+                        class_width,
+                        start_blk,
+                        end_blk,
+                        binom,
+                    ));
+                });
+            }
+        });
         let mut classes = BitBuf::with_capacity(n_blocks * class_width);
         let mut offsets = BitBuf::new();
         let mut ones = 0u64;
-        for blk in 0..n_blocks {
-            let start = blk * b;
-            let width = b.min(len - start);
-            // Bits beyond `len` in the last block are implicit zeros.
-            let word = bits.get_bits(start, width);
-            let c = word.count_ones() as usize;
-            classes.push_bits(c as u64, class_width);
-            let ow = offset_width(b, c, binom);
-            let off = encode_block(word, b, c, binom);
-            offsets.push_bits(off, ow);
-            ones += c as u64;
+        for shard in shards {
+            let (c, o, n1) = shard.expect("every shard spawned");
+            classes.append(&c);
+            offsets.append(&o);
+            ones += n1;
         }
+        Self::assemble(bits.len(), b, class_width, classes, offsets, ones)
+    }
+
+    fn build_with(bits: &BitBuf, b: usize, binom: &BinomialTable) -> Self {
+        let n_blocks = bits.len().div_ceil(b);
+        let class_width = (64 - (b as u64).leading_zeros() as usize).max(1);
+        let (classes, offsets, ones) = encode_blocks(bits, b, class_width, 0, n_blocks, binom);
+        Self::assemble(bits.len(), b, class_width, classes, offsets, ones)
+    }
+
+    /// Final assembly shared by the sequential and sharded builds: shrink
+    /// the streams, derive the rank directory, cross-check totals.
+    fn assemble(
+        len: usize,
+        b: usize,
+        class_width: usize,
+        mut classes: BitBuf,
+        mut offsets: BitBuf,
+        ones: u64,
+    ) -> Self {
+        let n_blocks = len.div_ceil(b);
         classes.shrink_to_fit();
         offsets.shrink_to_fit();
         let (dir, dir_ones, dir_ptr) = build_directory(b, n_blocks, &classes, class_width);
@@ -878,6 +958,10 @@ impl BitVecBuild for RrrBitVec {
     fn build(bits: &BitBuf, params: Self::Params) -> Self {
         Self::new(bits, params)
     }
+
+    fn build_mt(bits: &BitBuf, params: Self::Params, threads: usize) -> Self {
+        Self::with_threads(bits, params, threads)
+    }
 }
 
 #[cfg(test)]
@@ -991,6 +1075,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_is_byte_identical() {
+        use crate::serial::Persist;
+        // Long enough to clear PAR_BUILD_MIN_BLOCKS at every block size,
+        // with an odd tail block.
+        let bits = pseudo_bits(63 * (1 << 13) + 41, 37, 9);
+        for &b in &[15usize, 31, 63] {
+            let seq = RrrBitVec::new(&bits, b);
+            let mut seq_bytes = Vec::new();
+            seq.persist(&mut seq_bytes).unwrap();
+            for threads in [2usize, 3, 4, 8] {
+                let par = RrrBitVec::with_threads(&bits, b, threads);
+                let mut par_bytes = Vec::new();
+                par.persist(&mut par_bytes).unwrap();
+                assert_eq!(par_bytes, seq_bytes, "b={b} threads={threads}");
+            }
+            // Answers agree too (spot check across directory strata).
+            let par = RrrBitVec::with_threads(&bits, b, 4);
+            for i in (0..bits.len()).step_by(997) {
+                assert_eq!(par.rank1(i), seq.rank1(i), "rank1({i}) b={b}");
+            }
+        }
+    }
+
+    #[test]
     fn compresses_biased_bits() {
         // 2% density: RRR must be far below 1 bit/bit.
         let bits = pseudo_bits(200_000, 2, 5);
@@ -1042,7 +1150,7 @@ mod tests {
         let b = 10;
         for word in 0u64..(1 << b) {
             let c = word.count_ones() as usize;
-            let off = encode_block(word, b, c, &binom);
+            let off = encode_block(word, b, c);
             assert!(off < binom.get(b, c));
             for p in 0..=b {
                 let expect = (word & ((1u64 << p) - 1)).count_ones() as usize;
@@ -1070,14 +1178,13 @@ mod tests {
 
     #[test]
     fn paired_decode_matches_singles_exhaustive_small() {
-        let binom = BinomialTable::new();
         let b = 9;
         for w1 in 0u64..(1 << b) {
             // A shifted partner pattern exercises unequal classes/offsets.
             let w2 = (w1.wrapping_mul(0x9e37) ^ (w1 >> 3)) & ((1 << b) - 1);
             let (c1, c2) = (w1.count_ones() as usize, w2.count_ones() as usize);
-            let o1 = encode_block(w1, b, c1, &binom);
-            let o2 = encode_block(w2, b, c2, &binom);
+            let o1 = encode_block(w1, b, c1);
+            let o2 = encode_block(w2, b, c2);
             for p1 in 0..=b {
                 let p2 = (p1 * 5 + 3) % (b + 1);
                 let got = decode_prefix_ones_pair(o1, c1, p1, o2, c2, p2, b);

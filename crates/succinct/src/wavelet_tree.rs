@@ -95,7 +95,19 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
     /// Build from a sequence; `params` configures the backend bit vector
     /// (for RRR this is the block size `b`).
     pub fn with_params(seq: &[Symbol], params: B::Params) -> Self {
+        Self::with_params_mt(seq, params, 1)
+    }
+
+    /// [`Self::with_params`] with up to `threads` workers (`0` = available
+    /// parallelism). Each node's bit-partitioning is sharded into
+    /// contiguous chunks stitched back in order, and the backend builds
+    /// through [`BitVecBuild::build_mt`] — so the finished tree (and its
+    /// serialized bytes) is **identical** to a sequential build at any
+    /// thread count; only wall-clock differs.
+    pub fn with_params_mt(seq: &[Symbol], params: B::Params, threads: usize) -> Self {
         assert!(!seq.is_empty(), "wavelet tree over empty sequence");
+        // Resolve the `0 = all cores` knob once, not per Huffman node.
+        let threads = crate::parbuild::effective_threads(threads);
         let alphabet_size = seq.iter().copied().max().unwrap() as usize + 1;
         let mut freqs = vec![0u64; alphabet_size];
         for &s in seq {
@@ -117,42 +129,58 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
         }
 
         // Build per-node raw bitmaps top-down; each node owns the
-        // subsequence of symbols whose codes pass through it.
+        // subsequence of symbols whose codes pass through it. Partitioning
+        // a node is shard-parallel (the work per depth sums to ~n, so big
+        // nodes dominate and shard well; small ones run sequentially under
+        // the partition helper's threshold).
         let mut raw: Vec<BitBuf> = (0..n_nodes).map(|_| BitBuf::new()).collect();
         let mut owned: Vec<Vec<Symbol>> = vec![Vec::new(); n_nodes];
         {
-            let fill_node = |node: usize,
-                             node_seq: &[Symbol],
-                             raw: &mut Vec<BitBuf>,
-                             owned: &mut Vec<Vec<Symbol>>| {
+            // Flat per-symbol code cache: the partition predicate becomes
+            // two array loads and a shift instead of a packed-table lookup
+            // per symbol per level.
+            let mut code_bits = vec![0u64; alphabet_size];
+            let mut code_lens = vec![0u8; alphabet_size];
+            for s in 0..alphabet_size as u32 {
+                if let Some(cw) = tree.code(s) {
+                    code_bits[s as usize] = cw.bits;
+                    code_lens[s as usize] = cw.len;
+                }
+            }
+            let (code_bits, code_lens) = (&code_bits, &code_lens);
+            let fill_node = |node: usize, node_seq: &[Symbol]| {
                 let (l, r) = tree.nodes[node];
                 let depth = depths[node];
-                let bits = &mut raw[node];
-                let mut lseq = Vec::new();
-                let mut rseq = Vec::new();
-                for &s in node_seq {
-                    let code = tree.code(s).expect("symbol has a code");
-                    let bit = code.path_bit(depth);
-                    bits.push(bit);
-                    if bit {
-                        if matches!(r, Child::Node(_)) {
-                            rseq.push(s);
-                        }
-                    } else if matches!(l, Child::Node(_)) {
-                        lseq.push(s);
-                    }
-                }
-                if let Child::Node(i) = l {
+                crate::parbuild::partition_by(
+                    node_seq,
+                    // Bit `depth` of the root-to-leaf path (Codeword::path_bit,
+                    // unpacked): only symbols with codes reach any node.
+                    |s| {
+                        let len = code_lens[s as usize] as usize;
+                        debug_assert!(depth < len, "symbol has a code through this node");
+                        (code_bits[s as usize] >> (len - 1 - depth)) & 1 == 1
+                    },
+                    matches!(l, Child::Node(_)),
+                    matches!(r, Child::Node(_)),
+                    threads,
+                )
+            };
+            let mut install = |node: usize,
+                               parts: (BitBuf, Vec<Symbol>, Vec<Symbol>),
+                               owned: &mut Vec<Vec<Symbol>>| {
+                let (bits, lseq, rseq) = parts;
+                raw[node] = bits;
+                if let Child::Node(i) = tree.nodes[node].0 {
                     owned[i as usize] = lseq;
                 }
-                if let Child::Node(i) = r {
+                if let Child::Node(i) = tree.nodes[node].1 {
                     owned[i as usize] = rseq;
                 }
             };
-            fill_node(0, seq, &mut raw, &mut owned);
+            install(0, fill_node(0, seq), &mut owned);
             for node in 1..n_nodes {
                 let node_seq = std::mem::take(&mut owned[node]);
-                fill_node(node, &node_seq, &mut raw, &mut owned);
+                install(node, fill_node(node, &node_seq), &mut owned);
             }
         }
 
@@ -175,12 +203,10 @@ impl<B: BitVecBuild> HuffmanWaveletTree<B> {
             meta.push(ones);
             children.push(encode_child(tree.nodes[i].0));
             children.push(encode_child(tree.nodes[i].1));
-            for w in 0..nb.len() {
-                global.push(nb.get(w));
-            }
+            global.append(nb);
             ones += nb.count_ones() as u64;
         }
-        let bits = B::build(&global, params);
+        let bits = B::build_mt(&global, params, threads);
 
         Self {
             bits,
@@ -499,6 +525,24 @@ mod tests {
         }
         let w = seq[1234];
         assert_eq!(wt.rank(w, 200_000), naive_rank(&seq, w, 200_000));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        // Large enough that node partitions and the RRR backend both cross
+        // their parallel thresholds; skewed so node sizes vary.
+        let seq = pseudo_seq(200_000, 50, 31);
+        for &b in &[15usize, 63] {
+            let seq_wt = HuffmanWaveletTree::<RrrBitVec>::with_params(&seq, b);
+            let mut seq_bytes = Vec::new();
+            seq_wt.persist(&mut seq_bytes).unwrap();
+            for threads in [2usize, 4, 0] {
+                let par_wt = HuffmanWaveletTree::<RrrBitVec>::with_params_mt(&seq, b, threads);
+                let mut par_bytes = Vec::new();
+                par_wt.persist(&mut par_bytes).unwrap();
+                assert_eq!(par_bytes, seq_bytes, "b={b} threads={threads}");
+            }
+        }
     }
 
     #[test]
