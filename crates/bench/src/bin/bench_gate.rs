@@ -1,0 +1,78 @@
+//! `bench_gate` — the standalone bench-regression comparator.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.25]
+//! ```
+//!
+//! Compares every ratio metric (`*speedup*` fields, see
+//! `cinct_bench::gate`) of `current` against `baseline` and exits
+//! non-zero when any regresses past the tolerance. CI runs this after
+//! each bench smoke run, with the committed `BENCH_PR*.json` files as
+//! baselines, so performance bit-rot fails the build; locally it answers
+//! "did my change slow anything down?" in one command:
+//!
+//! ```text
+//! CINCT_SCALE=0.05 CINCT_BENCH_OUT=/tmp/now.json cargo run --release -p cinct_bench --bin hotpath
+//! cargo run --release -p cinct_bench --bin bench_gate -- BENCH_PR3.json /tmp/now.json
+//! ```
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage or parse failure.
+
+use cinct_bench::gate::{compare, Json};
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.25f64;
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .get(i + 1)
+                    .ok_or("--tolerance needs a value in [0, 1)")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance value")?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 1)".into());
+                }
+                i += 2;
+            }
+            _ => {
+                files.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        return Err("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.25]".into());
+    };
+    let read_json = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read_json(baseline_path)?;
+    let current = read_json(current_path)?;
+    let report = compare(&baseline, &current, tolerance);
+    println!("== bench-regression gate: {current_path} vs {baseline_path} ==");
+    print!("{}", report.render());
+    if report.rows.is_empty() {
+        return Err("no comparable ratio metrics between the two reports".into());
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench gate: ratio regression beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -20,8 +20,9 @@
 //! Run: `cargo run -p cinct_bench --release --bin buildpath`
 //! Knobs: `CINCT_SCALE` (default 0.25), `CINCT_BENCH_REPS` (default 3),
 //! `CINCT_THREADS` (comma list, default `1,2,4,8`), `CINCT_BENCH_OUT`
-//! (default `BENCH_PR4.json`). See `PERFORMANCE.md` for the cost model
-//! and the regen protocol.
+//! (default `BENCH_PR4.json`); `CINCT_BENCH_BASELINE` self-gates speedup
+//! ratios against a committed baseline (`cinct_bench::gate`). See
+//! `PERFORMANCE.md` for the cost model and the regen protocol.
 
 use cinct::engine::{Query, QueryEngine};
 use cinct::{CinctBuilder, CinctIndex, ConstructionTimings};
@@ -336,4 +337,5 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("\nwrote {out_path}");
+    cinct_bench::enforce_baseline_from_env(&json);
 }

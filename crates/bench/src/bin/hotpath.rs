@@ -11,7 +11,10 @@
 //! Run: `cargo run -p cinct_bench --release --bin hotpath`
 //! Knobs: `CINCT_SCALE` (default 0.25), `CINCT_QUERIES` (per class,
 //! default 500), `CINCT_BENCH_REPS` (default 3), `CINCT_BENCH_OUT`
-//! (default `BENCH_PR3.json`).
+//! (default `BENCH_PR3.json`); set `CINCT_BENCH_BASELINE` to a committed
+//! baseline (e.g. `BENCH_PR3.json`) to self-gate the run's speedup
+//! ratios against it (`CINCT_BENCH_TOLERANCE`, default 0.25 — see
+//! `cinct_bench::gate`).
 
 use cinct::engine::{Query, QueryEngine};
 use cinct::{CinctBuilder, CinctIndex};
@@ -291,4 +294,5 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("\nwrote {out_path}");
+    cinct_bench::enforce_baseline_from_env(&json);
 }

@@ -1,0 +1,543 @@
+//! The bench-regression gate: compare a bench run's JSON report against a
+//! committed baseline and fail on ratio regressions.
+//!
+//! The recorded baselines (`BENCH_PR3.json`, `BENCH_PR4.json`,
+//! `BENCH_PR5.json`) carry two kinds of numbers: absolute wall-clock
+//! (host- and scale-specific, not comparable across machines) and
+//! **ratios** — optimized-vs-reference speedups, sharded-vs-monolithic
+//! factors. Ratios compare the same binary against itself on the same
+//! host in the same run, so they transfer: if the committed baseline says
+//! the optimized count path is 2.0x the seed path and a CI smoke run
+//! measures 0.9x, the optimization bit-rotted regardless of how slow the
+//! runner is. This module extracts every ratio metric (any numeric field
+//! whose key contains `"speedup"`), matches baseline against current by
+//! JSON path, and fails when `current < baseline * (1 - tolerance)`.
+//!
+//! Excluded from gating: metrics under `"parallel_engine"` — thread
+//! scaling measures the host's core count more than the code (the
+//! recorded baselines were taken on a 1-vCPU host where every such entry
+//! pins ≈ 1.0), so gating on it would test the runner, not the repo.
+//!
+//! Two entry points:
+//!
+//! * the `bench_gate` binary — `bench_gate <baseline.json> <current.json>
+//!   [--tolerance 0.25]` — used by CI after the smoke runs;
+//! * [`enforce_baseline_from_env`] — every bench binary calls this after
+//!   writing its report, so `CINCT_BENCH_BASELINE=BENCH_PR3.json cargo
+//!   run --bin hotpath` self-gates without a second process.
+//!
+//! The JSON parser below is a minimal recursive-descent reader for the
+//! reports this crate itself emits (the container builds offline — no
+//! serde), but it accepts arbitrary well-formed JSON.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep insertion order (plenty for
+/// path-addressed metric lookup).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (read as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs don't appear in our reports;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape \\{}", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through verbatim).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+/// JSON paths whose metrics are **not** gated (see the module docs).
+const EXCLUDED_PATHS: &[&str] = &["parallel_engine"];
+
+/// Extract every gateable ratio metric: numeric fields whose key contains
+/// `"speedup"`, addressed by a stable JSON path. Array elements are
+/// addressed by their `"name"`/`"shards"` field when present (so a
+/// reordered report still matches), by index otherwise.
+pub fn collect_ratio_metrics(v: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(v, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let child_path = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                if let Json::Num(n) = child {
+                    if k.contains("speedup")
+                        && !EXCLUDED_PATHS.iter().any(|ex| child_path.contains(ex))
+                    {
+                        out.push((child_path, *n));
+                        continue;
+                    }
+                }
+                walk(child, child_path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let tag = child
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .or_else(|| {
+                        child
+                            .get("shards")
+                            .and_then(Json::as_f64)
+                            .map(|s| format!("shards_{s}"))
+                    })
+                    .unwrap_or_else(|| i.to_string());
+                walk(child, format!("{path}[{tag}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One gated metric's verdict.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// JSON path of the metric.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// `current >= baseline * (1 - tolerance)`.
+    pub pass: bool,
+}
+
+/// Result of gating one report against one baseline.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Per-metric verdicts for every metric present in **both** reports.
+    pub rows: Vec<GateRow>,
+    /// Baseline metrics the current report no longer emits (reported,
+    /// not gated — bench shapes evolve across PRs).
+    pub missing_in_current: Vec<String>,
+    /// The tolerance the verdicts used.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// `true` when no compared metric regressed past the tolerance.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Number of regressed metrics.
+    pub fn failures(&self) -> usize {
+        self.rows.iter().filter(|r| !r.pass).count()
+    }
+
+    /// Human-readable verdict table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<44} {:>10} {:>10} {:>8}  verdict",
+            "metric", "baseline", "current", "ratio"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<44} {:>10.3} {:>10.3} {:>8.3}  {}",
+                r.metric,
+                r.baseline,
+                r.current,
+                r.ratio,
+                if r.pass { "ok" } else { "REGRESSED" }
+            );
+        }
+        for m in &self.missing_in_current {
+            let _ = writeln!(s, "{m:<44} (in baseline only — not gated)");
+        }
+        let _ = writeln!(
+            s,
+            "{} metric(s) compared, {} regression(s), tolerance {:.0}%",
+            self.rows.len(),
+            self.failures(),
+            self.tolerance * 100.0
+        );
+        s
+    }
+}
+
+/// Gate `current` against `baseline`: every ratio metric present in both
+/// must satisfy `current >= baseline * (1 - tolerance)`. Improvements
+/// never fail the gate.
+pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
+    let base = collect_ratio_metrics(baseline);
+    let cur = collect_ratio_metrics(current);
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (metric, b) in &base {
+        match cur.iter().find(|(m, _)| m == metric) {
+            Some((_, c)) => rows.push(GateRow {
+                metric: metric.clone(),
+                baseline: *b,
+                current: *c,
+                ratio: if *b != 0.0 { c / b } else { f64::INFINITY },
+                pass: *c >= b * (1.0 - tolerance),
+            }),
+            None => missing.push(metric.clone()),
+        }
+    }
+    GateReport {
+        rows,
+        missing_in_current: missing,
+        tolerance,
+    }
+}
+
+/// Tolerance from `CINCT_BENCH_TOLERANCE` (default `0.25`: fail on a
+/// > 25% ratio regression).
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("CINCT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Self-gate a bench run: when `CINCT_BENCH_BASELINE` names a baseline
+/// JSON file, compare `current_json` (the report the binary just wrote)
+/// against it and **exit(1)** on regression. No-op when the variable is
+/// unset, so local exploratory runs stay unaffected.
+pub fn enforce_baseline_from_env(current_json: &str) {
+    let Ok(path) = std::env::var("CINCT_BENCH_BASELINE") else {
+        return;
+    };
+    let baseline_text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench gate: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = Json::parse(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("bench gate: baseline {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let current = Json::parse(current_json).expect("bench reports emit valid JSON");
+    let report = compare(&baseline, &current, tolerance_from_env());
+    println!("\n== bench-regression gate vs {path} ==");
+    print!("{}", report.render());
+    if !report.passed() {
+        eprintln!("bench gate: ratio regression beyond tolerance — failing the run");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "meta": {"scale": 0.25, "note": "with \"quotes\" and é"},
+      "classes": [
+        {"name": "count_p2", "speedup": 2.0, "seed_ns_per_op": 100.0},
+        {"name": "extract_l20", "speedup": 3.0}
+      ],
+      "count_workload_speedup": 2.1,
+      "parallel_engine": {"speedup": 1.0},
+      "build": {"pipelines": [{"name": "optimized_t1", "speedup_vs_reference": 2.2}]}
+    }"#;
+
+    #[test]
+    fn parser_roundtrips_the_report_shapes() {
+        let v = Json::parse(BASELINE).unwrap();
+        assert_eq!(
+            v.get("meta").unwrap().get("scale").unwrap().as_f64(),
+            Some(0.25)
+        );
+        assert_eq!(
+            v.get("meta").unwrap().get("note").unwrap().as_str(),
+            Some("with \"quotes\" and é")
+        );
+        assert!(Json::parse("[1, -2.5, 3e2, true, false, null]").is_ok());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{}extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn collects_speedups_by_stable_path() {
+        let v = Json::parse(BASELINE).unwrap();
+        let metrics = collect_ratio_metrics(&v);
+        let names: Vec<&str> = metrics.iter().map(|(m, _)| m.as_str()).collect();
+        assert!(names.contains(&"classes[count_p2].speedup"), "{names:?}");
+        assert!(names.contains(&"count_workload_speedup"));
+        assert!(names.contains(&"build.pipelines[optimized_t1].speedup_vs_reference"));
+        // Host-parallelism metrics are never gated.
+        assert!(!names.iter().any(|n| n.contains("parallel_engine")));
+        // Non-speedup numerics are not metrics.
+        assert!(!names.iter().any(|n| n.contains("seed_ns_per_op")));
+    }
+
+    #[test]
+    fn tolerance_separates_noise_from_regression() {
+        let base = Json::parse(BASELINE).unwrap();
+        // 10% down: within the default 25% tolerance.
+        let wobbled = BASELINE.replace("\"speedup\": 2.0", "\"speedup\": 1.8");
+        let report = compare(&base, &Json::parse(&wobbled).unwrap(), 0.25);
+        assert!(report.passed(), "{}", report.render());
+        // A 2x slowdown (speedup halves): must fail.
+        let halved = BASELINE.replace("\"speedup\": 2.0", "\"speedup\": 1.0");
+        let report = compare(&base, &Json::parse(&halved).unwrap(), 0.25);
+        assert!(!report.passed());
+        assert_eq!(report.failures(), 1);
+        assert!(report.render().contains("REGRESSED"));
+        // Improvements never fail.
+        let better = BASELINE.replace("\"speedup\": 2.0", "\"speedup\": 9.0");
+        assert!(compare(&base, &Json::parse(&better).unwrap(), 0.25).passed());
+    }
+
+    #[test]
+    fn shape_drift_is_reported_not_gated() {
+        let base = Json::parse(BASELINE).unwrap();
+        let slimmer = r#"{"count_workload_speedup": 2.0}"#;
+        let report = compare(&base, &Json::parse(slimmer).unwrap(), 0.25);
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.missing_in_current.len(), 3);
+        assert!(report.render().contains("not gated"));
+    }
+}

@@ -8,15 +8,25 @@
 //! testbed; the comparisons (who wins, by roughly what factor) are the
 //! reproduction target — see `EXPERIMENTS.md`.
 //!
-//! The `hotpath` binary is different in kind: it measures the *repo's own*
-//! optimized query path against the seed-equivalent reference path in one
-//! build and emits the recorded baseline `BENCH_PR3.json`; its protocol
-//! and cost model are documented in the repository's `PERFORMANCE.md`.
+//! Three binaries are different in kind: they measure the *repo's own*
+//! code against itself and emit recorded baselines —
+//!
+//! * `hotpath`: optimized vs seed-equivalent query paths (`BENCH_PR3.json`);
+//! * `buildpath`: allocation-lean vs seed construction (`BENCH_PR4.json`);
+//! * `shardpath`: sharded vs monolithic corpus serving (`BENCH_PR5.json`).
+//!
+//! Each self-gates against a committed baseline when
+//! `CINCT_BENCH_BASELINE` is set (see [`gate`]); CI also runs the
+//! standalone `bench_gate` comparator over the smoke-run outputs so
+//! ratio regressions fail the build. Protocols and cost models are in
+//! the repository's `PERFORMANCE.md`.
 
+pub mod gate;
 pub mod report;
 pub mod variants;
 pub mod workload;
 
+pub use gate::{collect_ratio_metrics, compare, enforce_baseline_from_env, GateReport, Json};
 pub use report::Table;
 pub use variants::{build_variant, BuiltIndex, Variant, ALL_VARIANTS};
 pub use workload::{sample_patterns, time_queries, QueryTiming};

@@ -95,7 +95,7 @@ fn rle0_decode(tokens: &[u32]) -> Vec<u32> {
                 place *= 2;
                 i += 1;
             }
-            out.extend(std::iter::repeat_n(0u32, k as usize));
+            out.extend(std::iter::repeat(0u32).take(k as usize));
         } else {
             out.push(tokens[i] - 1);
             i += 1;
@@ -198,9 +198,9 @@ mod tests {
     fn rle0_roundtrip_various_runs() {
         for run in [0usize, 1, 2, 3, 4, 7, 8, 100] {
             let mut seq = vec![5u32];
-            seq.extend(std::iter::repeat_n(0u32, run));
+            seq.extend(std::iter::repeat(0u32).take(run));
             seq.push(7);
-            seq.extend(std::iter::repeat_n(0u32, run * 2 + 1));
+            seq.extend(std::iter::repeat(0u32).take(run * 2 + 1));
             let enc = rle0_encode(&seq);
             assert_eq!(rle0_decode(&enc), seq, "run={run}");
         }

@@ -10,21 +10,45 @@
 //! cinct locate trips.cinct  12,13,14           # who, and where (needs --locate at build)
 //! cinct get    trips.cinct  7                  # decompress trajectory #7
 //! ```
+//!
+//! Sharded session — `--shards K` makes the output a *directory* (one
+//! index file per shard plus a checksummed manifest), which every query
+//! verb accepts wherever a single-file index is accepted, and which can
+//! grow without a rebuild:
+//!
+//! ```text
+//! cinct build   trips.txt  trips.d  --shards 8 --locate 32
+//! cinct append  trips.d    more_trips.txt      # new batch → one fresh shard
+//! cinct compact trips.d    8                   # re-balance small shards away
+//! cinct count   trips.d    12,13,14            # fan-out over all shards
+//! cinct locate  trips.d    12,13,14            # global trajectory IDs
+//! ```
 
 use cinct::text_io::{format_trajectory, parse_path, parse_trajectories};
-use cinct::{CinctBuilder, CinctIndex, Path, PathQuery};
+use cinct::{
+    CinctBuilder, CinctIndex, Path, PathQuery, ShardPartition, ShardedBuilder, ShardedCinct,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
   cinct build <trajectories.txt> <index.cinct> [--block-size 15|31|63] [--locate RATE]
-              [--threads N]                    N = 0 uses all cores; output is
-                                               identical at any thread count
-  cinct stats <index.cinct>
-  cinct count <index.cinct> <path>          path = comma-separated edge IDs
-  cinct locate <index.cinct> <path>
-  cinct get <index.cinct> <trajectory-id>"
+              [--threads N] [--shards K] [--balance size|rr]
+                                            N = 0 uses all cores; output is
+                                            identical at any thread count.
+                                            --shards K writes a sharded index
+                                            *directory* (K per-shard indexes +
+                                            manifest); --balance picks the
+                                            partition (size-balanced default,
+                                            rr = round-robin)
+  cinct append <index-dir> <trajectories.txt>   seal a new batch into a fresh
+                                            shard (no rebuild of old shards)
+  cinct compact <index-dir> <K>             re-balance the corpus into K shards
+  cinct stats <index>                       index = file or sharded directory
+  cinct count <index> <path>                path = comma-separated edge IDs
+  cinct locate <index> <path>
+  cinct get <index> <trajectory-id>"
     );
     ExitCode::from(2)
 }
@@ -36,6 +60,8 @@ fn main() -> ExitCode {
     };
     let result = match (cmd.as_str(), args.len()) {
         ("build", n) if n >= 3 => cmd_build(&args[1], &args[2], &args[3..]),
+        ("append", 3) => cmd_append(&args[1], &args[2]),
+        ("compact", 3) => cmd_compact(&args[1], &args[2]),
         ("stats", 2) => cmd_stats(&args[1]),
         ("count", 3) => cmd_count(&args[1], &args[2]),
         ("locate", 3) => cmd_locate(&args[1], &args[2]),
@@ -57,13 +83,62 @@ fn read_trajectories(path: &str) -> Result<(Vec<Vec<u32>>, usize), String> {
     parse_trajectories(std::io::BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_index(path: &str) -> Result<CinctIndex, String> {
-    let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    CinctIndex::read_from(&mut f).map_err(|e| format!("load {path}: {e}"))
+/// A loaded index, either flavor; queried through `&dyn PathQuery`.
+/// (The monolithic index is boxed: it is ~6x the sharded handle's size,
+/// and clippy's large-enum-variant lint is right that the enum should
+/// not carry that inline.)
+enum Backend {
+    Mono(Box<CinctIndex>),
+    Sharded(ShardedCinct),
+}
+
+impl Backend {
+    fn as_query(&self) -> &dyn PathQuery {
+        match self {
+            Backend::Mono(i) => i.as_ref(),
+            Backend::Sharded(s) => s,
+        }
+    }
+
+    fn num_trajectories(&self) -> usize {
+        match self {
+            Backend::Mono(i) => i.num_trajectories(),
+            Backend::Sharded(s) => s.num_trajectories(),
+        }
+    }
+
+    fn trajectory(&self, id: usize) -> Vec<u32> {
+        match self {
+            Backend::Mono(i) => i.trajectory(id),
+            Backend::Sharded(s) => s.trajectory(id),
+        }
+    }
+}
+
+/// Load a single-file index or a sharded index directory, inferred from
+/// what `path` points at.
+fn load_any(path: &str) -> Result<Backend, String> {
+    if std::path::Path::new(path).is_dir() {
+        ShardedCinct::open_dir(path)
+            .map(Backend::Sharded)
+            .map_err(|e| format!("load {path}: {e}"))
+    } else {
+        let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        CinctIndex::read_from(&mut f)
+            .map(|i| Backend::Mono(Box::new(i)))
+            .map_err(|e| format!("load {path}: {e}"))
+    }
+}
+
+fn load_sharded(path: &str) -> Result<ShardedCinct, String> {
+    ShardedCinct::open_dir(path).map_err(|e| format!("load {path}: {e}"))
 }
 
 fn cmd_build(input: &str, output: &str, flags: &[String]) -> Result<(), String> {
     let mut builder = CinctBuilder::new();
+    let mut shards: Option<usize> = None;
+    let mut partition = ShardPartition::SizeBalanced;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -91,70 +166,229 @@ fn cmd_build(input: &str, output: &str, flags: &[String]) -> Result<(), String> 
                     .ok_or("--threads needs a count (0 = all cores)")?
                     .parse()
                     .map_err(|_| "bad --threads count")?;
+                threads = Some(n);
                 builder = builder.threads(n);
+                i += 2;
+            }
+            "--shards" => {
+                let k: usize = flags
+                    .get(i + 1)
+                    .ok_or("--shards needs a count (>= 1)")?
+                    .parse()
+                    .map_err(|_| "bad --shards count")?;
+                if k == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+                shards = Some(k);
+                i += 2;
+            }
+            "--balance" => {
+                partition = match flags.get(i + 1).map(String::as_str) {
+                    Some("size") => ShardPartition::SizeBalanced,
+                    Some("rr") => ShardPartition::RoundRobin,
+                    _ => return Err("--balance takes `size` or `rr`".into()),
+                };
                 i += 2;
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     let (trajs, n_edges) = read_trajectories(input)?;
+    match shards {
+        None => {
+            let t0 = std::time::Instant::now();
+            let (index, timings) = builder.build_timed(&trajs, n_edges);
+            eprintln!(
+                "built in {:.2}s: {} trajectories, {} edges, {:.2} bits/symbol",
+                t0.elapsed().as_secs_f64(),
+                index.num_trajectories(),
+                n_edges,
+                index.bits_per_symbol()
+            );
+            eprintln!("stages: {}", timings.breakdown());
+            let mut f =
+                std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+            index
+                .write_to(&mut f)
+                .map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!("saved to {output}");
+        }
+        Some(k) => {
+            let t0 = std::time::Instant::now();
+            // For sharded builds --threads governs how many *shards*
+            // build concurrently (each shard's own pipeline stays
+            // sequential — fanning both levels would multiply threads);
+            // without the flag, shard builds use all cores.
+            let sharded = ShardedBuilder::new()
+                .shards(k)
+                .partition(partition)
+                .threads(threads.unwrap_or(0))
+                .index_builder(builder.threads(1))
+                .try_build(&trajs, n_edges)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "built in {:.2}s: {} trajectories across {} shards, {} edges, \
+                 {:.2} bits/symbol",
+                t0.elapsed().as_secs_f64(),
+                sharded.num_trajectories(),
+                sharded.num_shards(),
+                n_edges,
+                sharded.bits_per_symbol()
+            );
+            sharded.save_dir(output).map_err(|e| e.to_string())?;
+            eprintln!("saved sharded index directory to {output}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_append(index_dir: &str, input: &str) -> Result<(), String> {
+    let mut sharded = load_sharded(index_dir)?;
+    let (batch, batch_edges) = read_trajectories(input)?;
+    if batch_edges > sharded.network_edges() {
+        return Err(format!(
+            "batch references edge {} but the index network has {} edges \
+             (the alphabet is fixed at first build)",
+            batch_edges - 1,
+            sharded.network_edges()
+        ));
+    }
     let t0 = std::time::Instant::now();
-    let (index, timings) = builder.build_timed(&trajs, n_edges);
+    let ids = sharded.append_batch(&batch).map_err(|e| e.to_string())?;
+    sharded.save_dir(index_dir).map_err(|e| e.to_string())?;
     eprintln!(
-        "built in {:.2}s: {} trajectories, {} edges, {:.2} bits/symbol",
+        "appended {} trajectories (global IDs {}..{}) as shard {} in {:.2}s; \
+         {} shards total",
+        ids.len(),
+        ids.start,
+        ids.end,
+        sharded.num_shards() - 1,
         t0.elapsed().as_secs_f64(),
-        index.num_trajectories(),
-        n_edges,
-        index.bits_per_symbol()
+        sharded.num_shards()
     );
-    eprintln!("stages: {}", timings.breakdown());
-    let mut f = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
-    index
-        .write_to(&mut f)
-        .map_err(|e| format!("write {output}: {e}"))?;
-    eprintln!("saved to {output}");
+    Ok(())
+}
+
+fn cmd_compact(index_dir: &str, k_spec: &str) -> Result<(), String> {
+    let mut sharded = load_sharded(index_dir)?;
+    let k: usize = k_spec.parse().map_err(|_| "bad shard count")?;
+    let before = sharded.num_shards();
+    let t0 = std::time::Instant::now();
+    sharded.compact(k).map_err(|e| e.to_string())?;
+    // save_dir garbage-collects the pre-compaction shard files once the
+    // new manifest is live.
+    sharded.save_dir(index_dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "compacted {} shards -> {} in {:.2}s",
+        before,
+        sharded.num_shards(),
+        t0.elapsed().as_secs_f64()
+    );
     Ok(())
 }
 
 fn cmd_stats(path: &str) -> Result<(), String> {
-    let idx = load_index(path)?;
-    println!("trajectories:     {}", idx.num_trajectories());
-    println!("indexed symbols:  {}", idx.text_len());
-    println!("network edges:    {}", idx.network_edges());
-    println!("sigma:            {}", idx.sigma());
-    println!("ET-graph edges:   {}", idx.rml().graph().num_edges());
-    println!("max out-degree:   {}", idx.rml().graph().max_out_degree());
-    println!(
-        "core size:        {} bytes ({:.2} bits/symbol)",
-        idx.core_size_in_bytes(),
-        idx.bits_per_symbol()
-    );
-    println!("  labeled BWT:    {} bytes", idx.size_without_et_graph());
-    println!("directory extras: {} bytes", idx.directory_size_in_bytes());
-    match idx.locate_sampling_rate() {
-        Some(r) => println!("locate support:   yes (SA sampling 1/{r})"),
-        None => println!("locate support:   no (rebuild with --locate)"),
+    let backend = load_any(path)?;
+    match &backend {
+        Backend::Mono(idx) => {
+            println!("kind:             monolithic (single file)");
+            println!("trajectories:     {}", idx.num_trajectories());
+            println!("indexed symbols:  {}", idx.text_len());
+            println!("network edges:    {}", idx.network_edges());
+            println!("sigma:            {}", idx.sigma());
+            println!("ET-graph edges:   {}", idx.rml().graph().num_edges());
+            println!("max out-degree:   {}", idx.rml().graph().max_out_degree());
+            println!(
+                "core size:        {} bytes ({:.2} bits/symbol)",
+                idx.core_size_in_bytes(),
+                idx.bits_per_symbol()
+            );
+            println!("  labeled BWT:    {} bytes", idx.size_without_et_graph());
+            println!("directory extras: {} bytes", idx.directory_size_in_bytes());
+            match idx.locate_sampling_rate() {
+                Some(r) => println!("locate support:   yes (SA sampling 1/{r})"),
+                None => println!("locate support:   no (rebuild with --locate)"),
+            }
+        }
+        Backend::Sharded(s) => {
+            println!("kind:             sharded ({} shards)", s.num_shards());
+            println!("trajectories:     {}", s.num_trajectories());
+            println!("indexed symbols:  {}", s.text_len());
+            println!("network edges:    {}", s.network_edges());
+            println!("sigma:            {}", s.sigma());
+            println!(
+                "core size:        {} bytes ({:.2} bits/symbol)",
+                s.core_size_in_bytes(),
+                s.bits_per_symbol()
+            );
+            println!(
+                "locate support:   {}",
+                if s.locate_supported() { "yes" } else { "no" }
+            );
+            println!("per shard:        id  trajectories  symbols  core bytes");
+            for i in 0..s.num_shards() {
+                let idx = s.shard_index(i);
+                println!(
+                    "                  {:>2}  {:>12}  {:>7}  {:>10}",
+                    i,
+                    idx.num_trajectories(),
+                    idx.text_len(),
+                    idx.core_size_in_bytes()
+                );
+            }
+        }
     }
     Ok(())
 }
 
 fn cmd_count(path: &str, spec: &str) -> Result<(), String> {
-    let idx = load_index(path)?;
+    let backend = load_any(path)?;
     let p = parse_path(spec).map_err(|e| e.to_string())?;
-    match idx.try_range(Path::new(&p)).map_err(|e| e.to_string())? {
-        Some(r) => println!("{} (suffix range {}..{})", r.len(), r.start, r.end),
-        None => println!("0"),
+    let path = Path::new(&p);
+    match &backend {
+        Backend::Mono(idx) => match idx.try_range(path).map_err(|e| e.to_string())? {
+            Some(r) => println!("{} (suffix range {}..{})", r.len(), r.start, r.end),
+            None => println!("0"),
+        },
+        // A sharded range is virtual (multiplicity only) — fan out once
+        // and print the real per-shard suffix ranges instead of fake
+        // global endpoints.
+        Backend::Sharded(s) => {
+            s.validate_path(path).map_err(|e| e.to_string())?;
+            let ranges = s.shard_ranges(path);
+            let total: usize = ranges
+                .iter()
+                .map(|r| r.as_ref().map_or(0, |r| r.len()))
+                .sum();
+            if total == 0 {
+                println!("0");
+            } else {
+                let per: Vec<String> = ranges
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| {
+                        r.as_ref()
+                            .map(|r| format!("shard {i}: {}..{}", r.start, r.end))
+                    })
+                    .collect();
+                println!("{total} ({})", per.join(", "));
+            }
+        }
     }
     Ok(())
 }
 
 fn cmd_locate(path: &str, spec: &str) -> Result<(), String> {
-    let idx = load_index(path)?;
+    let backend = load_any(path)?;
     let p = parse_path(spec).map_err(|e| e.to_string())?;
-    let occ = idx.occurrences(Path::new(&p)).map_err(|e| e.to_string())?;
+    let occ = backend
+        .as_query()
+        .occurrences(Path::new(&p))
+        .map_err(|e| e.to_string())?;
     println!("{} occurrence(s)", occ.remaining());
     // Sorted (trajectory, offset) — the order scripts relied on before the
-    // streaming API; the iterator itself yields suffix-range order.
+    // streaming API; the iterator itself yields suffix-range order. IDs
+    // are corpus-global for both backends.
     for (traj, offset) in occ.collect_sorted() {
         println!("trajectory {traj} @ edge offset {offset}");
     }
@@ -162,14 +396,14 @@ fn cmd_locate(path: &str, spec: &str) -> Result<(), String> {
 }
 
 fn cmd_get(path: &str, id_spec: &str) -> Result<(), String> {
-    let idx = load_index(path)?;
+    let backend = load_any(path)?;
     let id: usize = id_spec.parse().map_err(|_| "bad trajectory id")?;
-    if id >= idx.num_trajectories() {
+    if id >= backend.num_trajectories() {
         return Err(format!(
             "trajectory {id} out of range (have {})",
-            idx.num_trajectories()
+            backend.num_trajectories()
         ));
     }
-    println!("{}", format_trajectory(&idx.trajectory(id)));
+    println!("{}", format_trajectory(&backend.trajectory(id)));
     Ok(())
 }

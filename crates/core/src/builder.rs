@@ -138,12 +138,35 @@ impl CinctBuilder {
     }
 
     /// Build the succinct structures with up to `n` worker threads (`0` =
-    /// the machine's available parallelism, `1` = sequential, the
-    /// default). Any thread count produces a **byte-identical** serialized
-    /// index; only wall-clock differs.
+    /// "auto", the machine's available parallelism — the workspace-wide
+    /// convention shared with `QueryEngine::parallel`, see
+    /// `rayon::resolve_threads`; `1` = sequential, the default). Any
+    /// thread count produces a **byte-identical** serialized index; only
+    /// wall-clock differs.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
+    }
+
+    /// The configured RRR block size (see [`CinctBuilder::block_size`]).
+    pub fn configured_block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The configured SA sampling rate, `None` when locate support is off
+    /// (see [`CinctBuilder::locate_sampling`]).
+    pub fn configured_locate_sampling(&self) -> Option<usize> {
+        self.locate_sampling
+    }
+
+    /// The configured labeling strategy (see [`CinctBuilder::labeling`]).
+    pub fn configured_labeling(&self) -> LabelingStrategy {
+        self.labeling
+    }
+
+    /// The configured thread knob, unresolved (`0` = auto).
+    pub fn configured_threads(&self) -> usize {
+        self.threads
     }
 
     /// Build from raw trajectories.
@@ -164,22 +187,7 @@ impl CinctBuilder {
         trajectories: &[Vec<u32>],
         n_edges: usize,
     ) -> Result<CinctIndex, QueryError> {
-        if trajectories.is_empty() {
-            return Err(QueryError::InvalidInput("no trajectories to index".into()));
-        }
-        // Empty trajectories are dropped during construction, which would
-        // silently shift every trajectory ID the caller gets back from
-        // locate/get — reject them up front instead.
-        if let Some(i) = trajectories.iter().position(|t| t.is_empty()) {
-            return Err(QueryError::InvalidInput(format!("trajectory {i} is empty")));
-        }
-        for t in trajectories {
-            for &edge in t {
-                if edge as usize >= n_edges {
-                    return Err(QueryError::UnknownEdge { edge, n_edges });
-                }
-            }
-        }
+        validate_corpus(trajectories, n_edges)?;
         Ok(self.build(trajectories, n_edges))
     }
 
@@ -277,7 +285,7 @@ impl CinctBuilder {
             let mut marked = BitBuf::zeros(n);
             let mut values = IntVec::with_capacity(IntVec::width_for(n as u64), n / rate + 1);
             for (row, &pos) in sa.iter().enumerate() {
-                if (pos as usize).is_multiple_of(rate) {
+                if (pos as usize) % rate == 0 {
                     marked.set(row, true);
                     values.push(pos as u64);
                 }
@@ -404,7 +412,7 @@ impl CinctBuilder {
             let mut marked = BitBuf::zeros(n);
             let mut rows: Vec<(u32, u64)> = Vec::with_capacity(n / rate + 1);
             for (row, &pos) in sa.iter().enumerate() {
-                if (pos as usize).is_multiple_of(rate) {
+                if (pos as usize) % rate == 0 {
                     marked.set(row, true);
                     rows.push((row as u32, pos as u64));
                 }
@@ -432,6 +440,29 @@ impl CinctBuilder {
         };
         (index, timings)
     }
+}
+
+/// The `try_build` validation contract, shared by monolithic
+/// ([`CinctBuilder::try_build`]) and sharded construction/ingest
+/// (`ShardedBuilder::try_build`, `ShardedCinct::append_batch`): a
+/// non-empty corpus, no empty trajectory (dropping one during
+/// construction would silently shift every trajectory ID), every edge
+/// in `0..n_edges`.
+pub(crate) fn validate_corpus(trajectories: &[Vec<u32>], n_edges: usize) -> Result<(), QueryError> {
+    if trajectories.is_empty() {
+        return Err(QueryError::InvalidInput("no trajectories to index".into()));
+    }
+    if let Some(i) = trajectories.iter().position(|t| t.is_empty()) {
+        return Err(QueryError::InvalidInput(format!("trajectory {i} is empty")));
+    }
+    for t in trajectories {
+        for &edge in t {
+            if edge as usize >= n_edges {
+                return Err(QueryError::UnknownEdge { edge, n_edges });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// One fused context-block scan (the optimized pipeline's steps 3–4):

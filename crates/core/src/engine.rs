@@ -203,22 +203,31 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// Evaluate batches on up to `n_threads` threads. `0` means "use the
-    /// machine's available parallelism"; `1` restores the deterministic
-    /// sequential path. Parallel runs return outcomes in input order with
+    /// Evaluate batches on up to `n_threads` threads. **`0` means "auto"**
+    /// (the machine's available parallelism) — the same convention as
+    /// `CinctBuilder::threads` and every other thread knob in the
+    /// workspace ([`rayon::resolve_threads`]); `1` restores the
+    /// deterministic sequential path. The knob is stored raw and resolved
+    /// at each [`QueryEngine::run`], so an engine configured with `0`
+    /// tracks the host it runs on, exactly like a builder configured with
+    /// `threads(0)`. Parallel runs return outcomes in input order with
     /// values identical to a sequential run.
     pub fn parallel(mut self, n_threads: usize) -> Self {
-        self.n_threads = if n_threads == 0 {
-            rayon::current_num_threads()
-        } else {
-            n_threads
-        };
+        self.n_threads = n_threads;
         self
     }
 
-    /// The configured thread budget (1 = sequential).
+    /// The configured thread knob, unresolved (`0` = auto, `1` =
+    /// sequential) — what was passed to [`QueryEngine::parallel`].
     pub fn n_threads(&self) -> usize {
         self.n_threads
+    }
+
+    /// The thread count a [`QueryEngine::run`] call would actually use:
+    /// the configured knob with `0` resolved to the machine's available
+    /// parallelism.
+    pub fn effective_threads(&self) -> usize {
+        rayon::resolve_threads(self.n_threads)
     }
 
     /// The wrapped backend.
@@ -236,8 +245,9 @@ impl<'a> QueryEngine<'a> {
     /// with [`QueryEngine::parallel`] and the batch is large enough to
     /// split; otherwise the sequential loop.
     pub fn run(&self, queries: &[Query]) -> BatchReport {
-        let outcomes = if self.n_threads > 1 && queries.len() > 1 {
-            self.run_chunked(queries)
+        let threads = self.effective_threads();
+        let outcomes = if threads > 1 && queries.len() > 1 {
+            self.run_chunked(queries, threads)
         } else {
             queries.iter().map(|q| self.run_one(q)).collect()
         };
@@ -248,8 +258,8 @@ impl<'a> QueryEngine<'a> {
     /// Fan the batch out as one contiguous chunk per thread; chunk results
     /// land in pre-split slots, so reassembly preserves input order without
     /// any post-sort.
-    fn run_chunked(&self, queries: &[Query]) -> Vec<QueryOutcome> {
-        let chunk_len = queries.len().div_ceil(self.n_threads);
+    fn run_chunked(&self, queries: &[Query], threads: usize) -> Vec<QueryOutcome> {
+        let chunk_len = queries.len().div_ceil(threads);
         let mut chunk_outcomes: Vec<Vec<QueryOutcome>> = Vec::new();
         chunk_outcomes.resize_with(queries.len().div_ceil(chunk_len), Vec::new);
         let backend = self.backend;
@@ -386,7 +396,12 @@ mod tests {
         let idx = CinctIndex::build(&paper_trajs(), 6);
         assert_eq!(QueryEngine::new(&idx).n_threads(), 1);
         assert_eq!(QueryEngine::new(&idx).parallel(4).n_threads(), 4);
-        assert!(QueryEngine::new(&idx).parallel(0).n_threads() >= 1);
+        // 0 means "auto" — stored raw, resolved at run time, matching
+        // CinctBuilder::threads(0).
+        let auto = QueryEngine::new(&idx).parallel(0);
+        assert_eq!(auto.n_threads(), 0);
+        assert_eq!(auto.effective_threads(), rayon::current_num_threads());
+        assert!(auto.effective_threads() >= 1);
         // Tiny batches still work in parallel mode (fewer chunks than
         // threads).
         let report = QueryEngine::new(&idx)

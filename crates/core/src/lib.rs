@@ -66,11 +66,52 @@
 //! Batches of heterogeneous queries run through [`engine::QueryEngine`],
 //! which works over any `&dyn PathQuery` backend and reports per-query
 //! results plus timing; `QueryEngine::parallel(n)` fans a batch out
-//! across threads with order- and value-identical results.
+//! across threads with order- and value-identical results. Every thread
+//! knob in the workspace shares one convention: **`0` means "auto"** (the
+//! machine's available parallelism, `rayon::resolve_threads`), `1` means
+//! sequential.
+//!
+//! # Scaling out: sharded corpora
+//!
+//! One index means one machine-sized BWT and a full rebuild per new
+//! trajectory. [`ShardedCinct`] (module [`shard`]) partitions the corpus
+//! into K per-shard indexes behind the same [`PathQuery`] trait, with
+//! fan-out querying under a **global trajectory-ID namespace**, durable
+//! multi-file persistence (module [`store`]), and incremental ingest:
+//!
+//! ```
+//! use cinct::{Path, PathQuery, ShardedBuilder, ShardedCinct};
+//!
+//! let trajs = vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]];
+//! let mut sharded = ShardedBuilder::new()
+//!     .shards(2)                 // K per-shard CinctIndexes
+//!     .locate_sampling(4)
+//!     .build(&trajs, 6);
+//! // Monolithic answers, global IDs — shard layout is invisible.
+//! assert_eq!(sharded.count(Path::new(&[0, 1])), 2);
+//! let occ = sharded.occurrences(Path::new(&[1, 2])).unwrap();
+//! assert_eq!(occ.collect_sorted(), vec![(1, 1), (2, 0)]);
+//! // Grow without a rebuild; re-balance when small shards pile up.
+//! sharded.append_batch(&[vec![1, 2, 5]]).unwrap();
+//! sharded.compact(2).unwrap();
+//! # let dir = std::env::temp_dir().join(format!("cinct-doc-{}", std::process::id()));
+//! // Durable: versioned, checksummed manifest + one file per shard.
+//! sharded.save_dir(&dir).unwrap();
+//! let back = ShardedCinct::open_dir(&dir).unwrap();
+//! assert_eq!(back.count(Path::new(&[1, 2])), 3);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! The `cinct` CLI drives the same layer: `cinct build trips.txt out.d
+//! --shards 8` builds a sharded directory, `cinct append out.d more.txt`
+//! seals new batches into fresh shards, `cinct compact out.d 8`
+//! re-balances, and `count`/`locate`/`get`/`stats` accept a sharded
+//! directory anywhere they accept a single-file index.
 //!
 //! The query hot path (RRR rank directory, fused wavelet descents, O(1)
 //! LF context) and its recorded baseline (`BENCH_PR3.json`) are described
-//! in the repository's `PERFORMANCE.md`.
+//! in the repository's `PERFORMANCE.md`, alongside the sharded serving
+//! cost model and the `BENCH_PR5.json` sharding baseline.
 
 pub mod builder;
 pub mod engine;
@@ -78,7 +119,9 @@ pub mod error;
 pub mod et_graph;
 pub mod index;
 pub mod rml;
+pub mod shard;
 pub mod stats;
+pub mod store;
 pub mod temporal;
 pub mod text_io;
 
@@ -88,6 +131,7 @@ pub use error::QueryError;
 pub use et_graph::EtGraph;
 pub use index::CinctIndex;
 pub use rml::{LabelingStrategy, Rml};
+pub use shard::{ShardPartition, ShardedBuilder, ShardedCinct};
 pub use stats::DatasetStats;
 pub use temporal::{
     StrictIter, StrictPathMatch, StrictPathQuery, TemporalCinct, TimestampedTrajectory,

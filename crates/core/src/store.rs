@@ -1,0 +1,556 @@
+//! Durable multi-file persistence for [`ShardedCinct`]: a versioned,
+//! checksummed shard manifest plus one [`CinctIndex`] file per shard.
+//!
+//! # On-disk layout
+//!
+//! A sharded index is a **directory**:
+//!
+//! ```text
+//! corpus.cinct/
+//!   manifest.cinct     versioned header + per-shard directory + checksum
+//!   shard-00000.cinct  CinctIndex (the single-file format of write_to)
+//!   shard-00001.cinct
+//!   ...
+//! ```
+//!
+//! The manifest records the network size, the construction configuration
+//! (so [`ShardedCinct::append_batch`] after reopening builds new shards
+//! identically), and per shard: its trajectory count, the FNV-1a checksum
+//! of its file, and its global-ID column. The manifest itself ends with
+//! an FNV-1a checksum over everything before it, so truncation or bit rot
+//! anywhere in the file is caught before any field is trusted.
+//!
+//! # Failure taxonomy (no panics)
+//!
+//! * wrong magic / unsupported version / checksum mismatch (manifest or
+//!   shard file) / inconsistent global-ID namespace →
+//!   [`QueryError::CorruptIndex`];
+//! * missing or unreadable files, truncated streams → [`QueryError::Io`]
+//!   (with the offending path in the message).
+
+use crate::builder::CinctBuilder;
+use crate::index::CinctIndex;
+use crate::rml::LabelingStrategy;
+use crate::shard::{ShardPartition, ShardedBuilder, ShardedCinct};
+use cinct_fmindex::QueryError;
+use cinct_succinct::serial::{read_u64, read_usize, write_u64, write_usize, Persist};
+use std::io::Cursor;
+use std::path::Path as FsPath;
+
+/// Manifest magic prefix ("CINCTS" as bytes, low 16 bits = format version).
+const MANIFEST_PREFIX: u64 = 0x4349_4e43_5453_0000;
+/// Current manifest format version.
+const MANIFEST_VERSION: u64 = 1;
+/// The manifest file inside a sharded-index directory.
+pub const MANIFEST_FILE: &str = "manifest.cinct";
+
+/// File name of shard `s` inside the directory. **Content-addressed**:
+/// the name embeds the file's own checksum, so a re-save (after
+/// `append_batch`/`compact`) never overwrites a file the current
+/// manifest still references — crash-safety depends on this (see
+/// [`ShardedCinct::save_dir`]).
+pub fn shard_file_name(s: usize, checksum: u64) -> String {
+    format!("shard-{s:05}-{checksum:016x}.cinct")
+}
+
+/// Write `bytes` to `path` atomically: through a `.tmp` sibling +
+/// rename, so readers never observe a half-written file.
+fn write_atomic(path: &FsPath, bytes: &[u8]) -> Result<(), QueryError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// FNV-1a 64-bit — the store's integrity checksum. Not cryptographic;
+/// it guards against truncation, bit rot, and mixed-up files, which is
+/// the failure model for a local index directory.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn io_err(path: &FsPath, e: std::io::Error) -> QueryError {
+    QueryError::Io(format!("{}: {:?}: {e}", path.display(), e.kind()))
+}
+
+fn corrupt(msg: impl Into<String>) -> QueryError {
+    QueryError::CorruptIndex(msg.into())
+}
+
+/// Serialize the labeling strategy as `(tag, seed)`.
+fn labeling_to_raw(l: LabelingStrategy) -> (u64, u64) {
+    match l {
+        LabelingStrategy::BigramSorted => (0, 0),
+        LabelingStrategy::Random { seed } => (1, seed),
+    }
+}
+
+fn labeling_from_raw(tag: u64, seed: u64) -> Result<LabelingStrategy, QueryError> {
+    match tag {
+        0 => Ok(LabelingStrategy::BigramSorted),
+        1 => Ok(LabelingStrategy::Random { seed }),
+        t => Err(corrupt(format!("unknown labeling strategy tag {t}"))),
+    }
+}
+
+fn partition_to_raw(p: ShardPartition) -> u64 {
+    match p {
+        ShardPartition::RoundRobin => 0,
+        ShardPartition::SizeBalanced => 1,
+    }
+}
+
+fn partition_from_raw(tag: u64) -> Result<ShardPartition, QueryError> {
+    match tag {
+        0 => Ok(ShardPartition::RoundRobin),
+        1 => Ok(ShardPartition::SizeBalanced),
+        t => Err(corrupt(format!("unknown partition strategy tag {t}"))),
+    }
+}
+
+impl ShardedCinct {
+    /// Persist the sharded index into directory `dir` (created if
+    /// missing): one file per shard plus the checksummed manifest.
+    ///
+    /// **Crash-safe by construction**: shard files are content-addressed
+    /// ([`shard_file_name`] embeds the checksum), so a save never
+    /// overwrites a file the live manifest references — unchanged shards
+    /// are not even rewritten (an `append_batch` + save touches only the
+    /// new shard). Every file lands via temp-file + rename, and the
+    /// manifest is renamed **last**: a crash at any point leaves the old
+    /// manifest describing the old (untouched) files — a fully
+    /// consistent old index — plus possibly some unreferenced new files,
+    /// which the next successful save garbage-collects.
+    pub fn save_dir(&self, dir: impl AsRef<FsPath>) -> Result<(), QueryError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        // Shard files first, collecting names + checksums for the manifest.
+        let mut names = Vec::with_capacity(self.num_shards());
+        let mut checksums = Vec::with_capacity(self.num_shards());
+        for s in 0..self.num_shards() {
+            let mut bytes = Vec::new();
+            self.shard_index(s)
+                .write_to(&mut bytes)
+                .map_err(|e| QueryError::Io(format!("serialize shard {s}: {e}")))?;
+            let checksum = fnv64(&bytes);
+            let name = shard_file_name(s, checksum);
+            let path = dir.join(&name);
+            // The name *is* the content hash: an existing file with this
+            // name already holds these bytes (open_dir re-verifies).
+            if !path.exists() {
+                write_atomic(&path, &bytes)?;
+            }
+            names.push(name);
+            checksums.push(checksum);
+        }
+        // Manifest body, then its trailing self-checksum.
+        let mut m: Vec<u8> = Vec::new();
+        let w = &mut m as &mut dyn std::io::Write;
+        write_u64(w, MANIFEST_PREFIX | MANIFEST_VERSION)?;
+        write_usize(w, self.network_edges())?;
+        let b = self.config().index_builder_config();
+        write_usize(w, b.configured_block_size())?;
+        write_usize(w, b.configured_locate_sampling().unwrap_or(0))?;
+        let (ltag, lseed) = labeling_to_raw(b.configured_labeling());
+        write_u64(w, ltag)?;
+        write_u64(w, lseed)?;
+        write_u64(w, partition_to_raw(self.config().configured_partition()))?;
+        write_usize(w, self.config().configured_threads())?;
+        write_usize(w, self.num_trajectories())?;
+        write_usize(w, self.num_shards())?;
+        for (s, (name, &checksum)) in names.iter().zip(&checksums).enumerate() {
+            name.as_bytes().to_vec().persist(w)?;
+            write_usize(w, self.shard_index(s).num_trajectories())?;
+            write_u64(w, checksum)?;
+            self.shard_globals(s).to_vec().persist(w)?;
+        }
+        let digest = fnv64(&m);
+        write_u64(&mut m, digest)?;
+        write_atomic(&dir.join(MANIFEST_FILE), &m)?;
+        // The new manifest is live — garbage-collect shard files it does
+        // not reference (previous generations, stray temp files). Best
+        // effort: a leftover file is harmless, only disk overhead.
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let fname = entry.file_name();
+                let fname = fname.to_string_lossy();
+                let stale_shard = fname.starts_with("shard-")
+                    && fname.ends_with(".cinct")
+                    && !names.iter().any(|n| n == &*fname);
+                if stale_shard || fname.ends_with(".tmp") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reopen a directory written by [`ShardedCinct::save_dir`].
+    ///
+    /// Every structural failure is a typed error (see the
+    /// [module docs](self) for the taxonomy); nothing panics on corrupt
+    /// or missing state.
+    pub fn open_dir(dir: impl AsRef<FsPath>) -> Result<ShardedCinct, QueryError> {
+        let dir = dir.as_ref();
+        let mpath = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&mpath).map_err(|e| io_err(&mpath, e))?;
+        if bytes.len() < 16 {
+            return Err(corrupt("shard manifest too short to hold a header"));
+        }
+        // Header sanity precedes everything: a wrong-magic or future-
+        // version file should say so, not "checksum mismatch".
+        let magic = u64::from_le_bytes(bytes[..8].try_into().expect("length checked"));
+        if magic & !0xffff != MANIFEST_PREFIX {
+            return Err(corrupt("not a CiNCT shard manifest (bad magic)"));
+        }
+        let version = magic & 0xffff;
+        if version != MANIFEST_VERSION {
+            return Err(corrupt(format!(
+                "unsupported shard manifest version {version} (this build reads {MANIFEST_VERSION})"
+            )));
+        }
+        // Integrity: trailing FNV over the whole body. Catches truncation
+        // and bit rot before any field is parsed.
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv64(body) != stored {
+            return Err(corrupt(
+                "shard manifest checksum mismatch (truncated or corrupted)",
+            ));
+        }
+        let mut cur = Cursor::new(&body[8..]);
+        let r = &mut cur as &mut dyn std::io::Read;
+        let n_edges = read_usize(r)?;
+        let block_size = read_usize(r)?;
+        let locate = read_usize(r)?;
+        let ltag = read_u64(r)?;
+        let lseed = read_u64(r)?;
+        let labeling = labeling_from_raw(ltag, lseed)?;
+        let partition = partition_from_raw(read_u64(r)?)?;
+        let threads = read_usize(r)?;
+        let n_trajs = read_usize(r)?;
+        let n_shards = read_usize(r)?;
+        let mut index_builder = CinctBuilder::new()
+            .block_size(block_size)
+            .labeling(labeling);
+        if locate > 0 {
+            index_builder = index_builder.locate_sampling(locate);
+        }
+        let config = ShardedBuilder::new()
+            .shards(n_shards.max(1))
+            .partition(partition)
+            .threads(threads)
+            .index_builder(index_builder);
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let name_bytes: Vec<u8> = Persist::restore(r)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| corrupt(format!("shard {s}: file name is not UTF-8")))?;
+            if name.contains(['/', '\\']) || name.contains("..") || name.is_empty() {
+                return Err(corrupt(format!(
+                    "shard {s}: unsafe file name {name:?} in manifest"
+                )));
+            }
+            let n_local = read_usize(r)?;
+            let checksum = read_u64(r)?;
+            let globals: Vec<u32> = Persist::restore(r)?;
+            if globals.len() != n_local {
+                return Err(corrupt(format!(
+                    "shard {s}: manifest declares {n_local} trajectories but lists {} IDs",
+                    globals.len()
+                )));
+            }
+            let spath = dir.join(&name);
+            let sbytes = std::fs::read(&spath).map_err(|e| io_err(&spath, e))?;
+            if fnv64(&sbytes) != checksum {
+                return Err(corrupt(format!(
+                    "shard file {} checksum mismatch (truncated or corrupted)",
+                    spath.display()
+                )));
+            }
+            let index = CinctIndex::read_from(&mut Cursor::new(sbytes))?;
+            shards.push(crate::shard::Shard { index, globals });
+        }
+        let loaded = ShardedCinct::assemble(shards, n_edges, config)?;
+        if loaded.num_trajectories() != n_trajs {
+            return Err(corrupt(format!(
+                "manifest declares {n_trajs} trajectories, shards hold {}",
+                loaded.num_trajectories()
+            )));
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cinct_fmindex::{Path, PathQuery};
+
+    fn paper_trajs() -> Vec<Vec<u32>> {
+        vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
+    }
+
+    /// Fresh scratch directory under the system temp dir.
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cinct-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn build_sharded() -> ShardedCinct {
+        ShardedBuilder::new()
+            .shards(3)
+            .locate_sampling(2)
+            .build(&paper_trajs(), 6)
+    }
+
+    /// Shard files currently in `dir`, sorted (so `[0]` is shard 0 —
+    /// names embed the shard index first).
+    fn shard_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                let n = p.file_name().unwrap().to_string_lossy().into_owned();
+                n.starts_with("shard-") && n.ends_with(".cinct")
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = scratch("roundtrip");
+        let sharded = build_sharded();
+        sharded.save_dir(&dir).unwrap();
+        let back = ShardedCinct::open_dir(&dir).unwrap();
+        assert_eq!(back.num_shards(), sharded.num_shards());
+        assert_eq!(back.num_trajectories(), sharded.num_trajectories());
+        assert_eq!(back.network_edges(), 6);
+        for g in 0..4 {
+            assert_eq!(back.trajectory(g), sharded.trajectory(g), "g={g}");
+        }
+        assert_eq!(back.count(Path::new(&[0, 1])), 2);
+        assert_eq!(
+            back.occurrences(Path::new(&[1, 2]))
+                .unwrap()
+                .collect_sorted(),
+            vec![(1, 1), (2, 0)]
+        );
+        // The restored config keeps building compatible shards.
+        let mut back = back;
+        back.append_batch(&[vec![1, 2]]).unwrap();
+        assert_eq!(back.count(Path::new(&[1, 2])), 3);
+        assert!(back.locate_supported());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_append_then_save_roundtrips_again() {
+        let dir = scratch("append-resave");
+        let mut sharded = build_sharded();
+        sharded.save_dir(&dir).unwrap();
+        sharded.append_batch(&[vec![0, 1, 2]]).unwrap();
+        sharded.save_dir(&dir).unwrap();
+        let back = ShardedCinct::open_dir(&dir).unwrap();
+        assert_eq!(back.num_trajectories(), 5);
+        assert_eq!(back.trajectory(4), vec![0, 1, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_and_manifest_are_io_errors() {
+        let dir = scratch("missing");
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::Io(msg)) => assert!(msg.contains(MANIFEST_FILE), "{msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_shard_file_is_an_io_error() {
+        let dir = scratch("missing-shard");
+        build_sharded().save_dir(&dir).unwrap();
+        let victim = shard_files(&dir).remove(1);
+        std::fs::remove_file(&victim).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::Io(msg)) => {
+                assert!(
+                    msg.contains(&*victim.file_name().unwrap().to_string_lossy()),
+                    "{msg}"
+                )
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saves_are_incremental_and_garbage_collected() {
+        // Content-addressed shard files: an append + re-save writes only
+        // the new shard; a compact + re-save replaces the set and GCs
+        // the previous generation.
+        let dir = scratch("gc");
+        let mut sharded = build_sharded();
+        sharded.save_dir(&dir).unwrap();
+        let first_gen = shard_files(&dir);
+        assert_eq!(first_gen.len(), sharded.num_shards());
+        let mtime = |p: &std::path::PathBuf| std::fs::metadata(p).unwrap().modified().unwrap();
+        let stamps: Vec<_> = first_gen.iter().map(&mtime).collect();
+        sharded.append_batch(&[vec![0, 1, 2]]).unwrap();
+        sharded.save_dir(&dir).unwrap();
+        // Old shard files survive untouched (same mtime), one new file.
+        let second_gen = shard_files(&dir);
+        assert_eq!(second_gen.len(), first_gen.len() + 1);
+        for (p, stamp) in first_gen.iter().zip(&stamps) {
+            assert_eq!(&mtime(p), stamp, "{p:?} was rewritten");
+        }
+        // Compaction changes every shard: the old generation is GC'd.
+        sharded.compact(2).unwrap();
+        sharded.save_dir(&dir).unwrap();
+        let third_gen = shard_files(&dir);
+        assert_eq!(third_gen.len(), sharded.num_shards());
+        for old in &second_gen {
+            assert!(!third_gen.contains(old), "stale {old:?} not collected");
+        }
+        let back = ShardedCinct::open_dir(&dir).unwrap();
+        assert_eq!(back.num_trajectories(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_save_leaves_the_old_index_loadable() {
+        // Simulate a crash between "new shard files written" and "new
+        // manifest renamed": write a *different* index's shard files into
+        // the directory without touching the manifest. The old manifest
+        // must still load the old index, referencing only old files.
+        let dir = scratch("crash");
+        let sharded = build_sharded();
+        sharded.save_dir(&dir).unwrap();
+        let mut bigger = sharded.clone();
+        bigger.append_batch(&[vec![1, 2, 5]]).unwrap();
+        bigger.compact(2).unwrap();
+        // "Crashed" save: the new generation's shard files appear (what
+        // save_dir writes before the manifest rename) but the manifest
+        // rename never happens — old manifest and old files untouched.
+        let staging = scratch("crash-staging");
+        bigger.save_dir(&staging).unwrap();
+        for f in shard_files(&staging) {
+            std::fs::copy(&f, dir.join(f.file_name().unwrap())).unwrap();
+        }
+        std::fs::remove_dir_all(&staging).unwrap();
+        let back = ShardedCinct::open_dir(&dir).unwrap();
+        assert_eq!(back.num_trajectories(), sharded.num_trajectories());
+        assert_eq!(back.count(Path::new(&[0, 1])), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_are_corrupt_index() {
+        let dir = scratch("magic");
+        build_sharded().save_dir(&dir).unwrap();
+        let mpath = dir.join(MANIFEST_FILE);
+        let original = std::fs::read(&mpath).unwrap();
+
+        // Not a manifest at all.
+        let mut garbled = original.clone();
+        garbled[..8].copy_from_slice(&0xdead_beef_dead_beefu64.to_le_bytes());
+        std::fs::write(&mpath, &garbled).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+
+        // Right magic, future version.
+        let mut future = original.clone();
+        future[..8].copy_from_slice(&(MANIFEST_PREFIX | 999).to_le_bytes());
+        std::fs::write(&mpath, &future).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => {
+                assert!(msg.contains("version 999"), "{msg}")
+            }
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_bit_flipped_manifests_are_corrupt_index() {
+        let dir = scratch("truncate");
+        build_sharded().save_dir(&dir).unwrap();
+        let mpath = dir.join(MANIFEST_FILE);
+        let original = std::fs::read(&mpath).unwrap();
+
+        // Truncation (drop the tail — checksum no longer matches).
+        std::fs::write(&mpath, &original[..original.len() - 9]).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+
+        // Truncation below a parseable header.
+        std::fs::write(&mpath, &original[..10]).unwrap();
+        assert!(matches!(
+            ShardedCinct::open_dir(&dir),
+            Err(QueryError::CorruptIndex(_))
+        ));
+
+        // A flipped bit mid-body.
+        let mut flipped = original.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&mpath, &flipped).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_shard_file_is_corrupt_index() {
+        let dir = scratch("shard-corrupt");
+        build_sharded().save_dir(&dir).unwrap();
+        let spath = shard_files(&dir).remove(0);
+        let mut bytes = std::fs::read(&spath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&spath, &bytes).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        // Truncated shard file: also caught by the checksum, before the
+        // index parser ever runs.
+        let spath = shard_files(&dir).remove(1);
+        let bytes = std::fs::read(&spath).unwrap();
+        std::fs::write(&spath, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            ShardedCinct::open_dir(&dir),
+            Err(QueryError::CorruptIndex(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the checksum so a refactor can't silently change the
+        // on-disk format.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"cinct"), {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in b"cinct" {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        });
+    }
+}

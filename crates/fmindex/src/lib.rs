@@ -54,7 +54,7 @@ pub use ap::AlphabetPartitionSeq;
 pub use error::QueryError;
 pub use fm::{FmIndex, SymbolSeqFromBwt};
 pub use gmr::PositionListSeq;
-pub use query::{ExtractIter, OccurIter, OccurrenceSource, Path, PathQuery};
+pub use query::{ExtractIter, OccurIter, OccurSegment, OccurrenceSource, Path, PathQuery};
 
 /// Legacy name of [`PathQuery`], kept for downstream code one release.
 #[deprecated(

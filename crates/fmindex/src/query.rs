@@ -268,12 +268,58 @@ pub trait OccurrenceSource {
     fn resolve_row(&self, j: usize, path_len: usize) -> (usize, usize);
 }
 
+/// One resolvable slice of suffix-range rows inside an [`OccurIter`]: a
+/// locate-capable source, the row range to walk, and an optional
+/// trajectory-ID remap applied to everything the source resolves.
+///
+/// Single-index backends never see this type ([`OccurIter::new`] wraps one
+/// segment); sharded backends build one segment per shard and chain them
+/// with [`OccurIter::fan_out`], remapping each shard's *local* trajectory
+/// IDs into the corpus-global namespace.
+pub struct OccurSegment<'a> {
+    source: &'a dyn OccurrenceSource,
+    rows: Range<usize>,
+    /// `id_map[local_traj] = global_traj`; `None` = identity.
+    id_map: Option<&'a [u32]>,
+}
+
+impl<'a> OccurSegment<'a> {
+    /// A segment over `rows` of `source`, reporting the source's own
+    /// trajectory IDs.
+    pub fn new(source: &'a (dyn OccurrenceSource + 'a), rows: Option<Range<usize>>) -> Self {
+        OccurSegment {
+            source,
+            rows: rows.unwrap_or(0..0),
+            id_map: None,
+        }
+    }
+
+    /// A segment whose resolved trajectory IDs are remapped through
+    /// `id_map` (`id_map[local] = global`). The map must cover every
+    /// trajectory the source can resolve.
+    pub fn remapped(
+        source: &'a (dyn OccurrenceSource + 'a),
+        rows: Option<Range<usize>>,
+        id_map: &'a [u32],
+    ) -> Self {
+        OccurSegment {
+            source,
+            rows: rows.unwrap_or(0..0),
+            id_map: Some(id_map),
+        }
+    }
+}
+
 /// Streaming occurrence listing: lazily maps each suffix-range row to its
 /// `(trajectory, offset)` via sampled-SA walks. Created by
 /// [`PathQuery::occurrences`]; never materializes an intermediate `Vec`.
+/// A sharded backend chains one segment per shard ([`OccurIter::fan_out`]);
+/// the iterator drains segments in order, so shard-local row order is
+/// preserved within each segment.
 pub struct OccurIter<'a> {
-    source: &'a dyn OccurrenceSource,
-    rows: Range<usize>,
+    segments: Vec<OccurSegment<'a>>,
+    /// Index of the segment currently being drained.
+    cur: usize,
     path_len: usize,
 }
 
@@ -286,16 +332,22 @@ impl<'a> OccurIter<'a> {
         rows: Option<Range<usize>>,
         path_len: usize,
     ) -> Self {
+        Self::fan_out(vec![OccurSegment::new(source, rows)], path_len)
+    }
+
+    /// Chain several per-source segments into one occurrence stream (the
+    /// sharded fan-out path). Segments are drained in the given order.
+    pub fn fan_out(segments: Vec<OccurSegment<'a>>, path_len: usize) -> Self {
         OccurIter {
-            source,
-            rows: rows.unwrap_or(0..0),
+            segments,
+            cur: 0,
             path_len,
         }
     }
 
     /// Occurrences left to yield.
     pub fn remaining(&self) -> usize {
-        self.rows.len()
+        self.segments[self.cur..].iter().map(|s| s.rows.len()).sum()
     }
 
     /// Drain into a `Vec` sorted by `(trajectory, offset)` — the order the
@@ -311,12 +363,22 @@ impl Iterator for OccurIter<'_> {
     type Item = (usize, usize);
 
     fn next(&mut self) -> Option<(usize, usize)> {
-        let j = self.rows.next()?;
-        Some(self.source.resolve_row(j, self.path_len))
+        loop {
+            let seg = self.segments.get_mut(self.cur)?;
+            match seg.rows.next() {
+                Some(j) => {
+                    let (t, off) = seg.source.resolve_row(j, self.path_len);
+                    let t = seg.id_map.map_or(t, |m| m[t] as usize);
+                    return Some((t, off));
+                }
+                None => self.cur += 1,
+            }
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.rows.size_hint()
+        let n = self.remaining();
+        (n, Some(n))
     }
 }
 

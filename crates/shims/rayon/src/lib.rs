@@ -60,6 +60,21 @@ pub fn current_num_threads() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Resolve a user-facing thread-count knob under the workspace's shared
+/// convention: **`0` means "auto"** (the machine's available parallelism,
+/// [`current_num_threads`]); any other value is taken literally. Every
+/// thread knob in the workspace — `CinctBuilder::threads`,
+/// `QueryEngine::parallel`, `ShardedBuilder::threads`, the succinct
+/// parallel builders — routes through this so the convention cannot
+/// drift between layers.
+pub fn resolve_threads(n: usize) -> usize {
+    if n == 0 {
+        current_num_threads()
+    } else {
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +129,12 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_resolves_to_auto() {
+        assert_eq!(resolve_threads(0), current_num_threads());
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
     }
 }

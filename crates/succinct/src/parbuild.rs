@@ -19,13 +19,10 @@ type Shard = (BitBuf, Vec<Symbol>, Vec<Symbol>);
 /// than it saves (the rayon shim spawns OS threads per scope).
 pub(crate) const PAR_MIN_ITEMS: usize = 1 << 16;
 
-/// Resolve a thread-count knob: `0` = available parallelism.
+/// Resolve a thread-count knob under the workspace's shared `0` = "auto"
+/// convention ([`rayon::resolve_threads`]).
 pub(crate) fn effective_threads(threads: usize) -> usize {
-    if threads == 0 {
-        rayon::current_num_threads()
-    } else {
-        threads
-    }
+    rayon::resolve_threads(threads)
 }
 
 /// Partition one wavelet node/level: emit `pred(s)` per symbol into a bit
@@ -123,7 +120,7 @@ mod tests {
         let seq: Vec<Symbol> = (0..200_000u32)
             .map(|i| i.wrapping_mul(2654435761) % 97)
             .collect();
-        let pred = |s: Symbol| s.is_multiple_of(3);
+        let pred = |s: Symbol| s % 3 == 0;
         let seq_out = partition_chunk(&seq, &pred, true, true);
         for threads in [2usize, 3, 8] {
             let par_out = partition_by(&seq, pred, true, true, threads);

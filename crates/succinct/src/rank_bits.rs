@@ -273,8 +273,8 @@ mod tests {
 
     #[test]
     fn rank_select_all_ones_and_zeros() {
-        check_against_naive(&BitBuf::from_bools(std::iter::repeat_n(true, 700)));
-        check_against_naive(&BitBuf::from_bools(std::iter::repeat_n(false, 700)));
+        check_against_naive(&BitBuf::from_bools(std::iter::repeat(true).take(700)));
+        check_against_naive(&BitBuf::from_bools(std::iter::repeat(false).take(700)));
     }
 
     #[test]
@@ -302,12 +302,12 @@ mod tests {
         let mut seen0 = 0usize;
         for i in 0..bits.len() {
             if bits.get(i) {
-                if seen.is_multiple_of(1009) {
+                if seen % 1009 == 0 {
                     assert_eq!(rb.select1(seen), Some(i));
                 }
                 seen += 1;
             } else {
-                if seen0.is_multiple_of(1013) {
+                if seen0 % 1013 == 0 {
                     assert_eq!(rb.select0(seen0), Some(i), "select0({seen0})");
                 }
                 seen0 += 1;
@@ -319,11 +319,11 @@ mod tests {
     #[test]
     fn select0_boundaries() {
         // All ones: no zero to select at any k.
-        let ones = RankBitVec::new(BitBuf::from_bools(std::iter::repeat_n(true, 1000)));
+        let ones = RankBitVec::new(BitBuf::from_bools(std::iter::repeat(true).take(1000)));
         assert_eq!(ones.select0(0), None);
         // Lone zero at a word boundary, straddling block edges.
         for pos in [0usize, 63, 64, 511, 512, 513, 999] {
-            let mut b = BitBuf::from_bools(std::iter::repeat_n(true, 1000));
+            let mut b = BitBuf::from_bools(std::iter::repeat(true).take(1000));
             b.set(pos, false);
             let rb = RankBitVec::new(b);
             assert_eq!(rb.select0(0), Some(pos), "zero at {pos}");

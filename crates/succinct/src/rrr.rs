@@ -1032,8 +1032,8 @@ mod tests {
     #[test]
     fn all_zero_and_all_one() {
         for &b in &[15usize, 63] {
-            check(&BitBuf::from_bools(std::iter::repeat_n(false, 500)), b);
-            check(&BitBuf::from_bools(std::iter::repeat_n(true, 500)), b);
+            check(&BitBuf::from_bools(std::iter::repeat(false).take(500)), b);
+            check(&BitBuf::from_bools(std::iter::repeat(true).take(500)), b);
         }
     }
 
