@@ -254,7 +254,7 @@ fn main() {
         json,
         "  \"meta\": {{\"dataset\": \"{}\", \"scale\": {scale}, \"queries_per_class\": \
          {n_queries}, \"reps\": {reps}, \"rrr_block_size\": 63, \"locate_sampling\": \
-         {LOCATE_RATE}, \"text_len\": {}, \"sigma\": {}}},",
+         {LOCATE_RATE}, \"text_len\": {}, \"sigma\": {}, \"host_parallelism\": {threads}}},",
         ds.name,
         idx.text_len(),
         idx.sigma()

@@ -331,7 +331,8 @@ fn main() {
              \"sym_per_sec\": {:.0}, \"build_speedup_vs_mono\": {:.3}, \
              \"count_ns_per_op\": {:.1}, \"count_speedup_vs_mono\": {:.3}, \
              \"occurrence_ns_per_op\": {:.1}, \"occurrence_speedup_vs_mono\": {:.3}, \
-             \"parallel_fanout_occurrence_ns_per_op\": {:.1}, \"identity\": true}}{}",
+             \"parallel_fanout_occurrence_ns_per_op\": {:.1}, \
+             \"parallel_fanout_occurrence_speedup_vs_mono\": {:.3}, \"identity\": true}}{}",
             r.requested,
             r.actual,
             r.build_secs,
@@ -342,6 +343,7 @@ fn main() {
             r.occur_ns,
             mono_occur_ns / r.occur_ns,
             r.occur_par_ns,
+            mono_occur_ns / r.occur_par_ns,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

@@ -13,10 +13,14 @@
 //! whose key contains `"speedup"`), matches baseline against current by
 //! JSON path, and fails when `current < baseline * (1 - tolerance)`.
 //!
-//! Excluded from gating: metrics under `"parallel_engine"` — thread
-//! scaling measures the host's core count more than the code (the
-//! recorded baselines were taken on a 1-vCPU host where every such entry
-//! pins ≈ 1.0), so gating on it would test the runner, not the repo.
+//! Parallel metrics (`"parallel_engine"`, `"parallel_fanout"`) are
+//! **armed conditionally**: thread scaling measures the host's core
+//! count as much as the code, so those entries are gated only when
+//! `meta.host_parallelism > 1` in **both** the baseline and the current
+//! report (a missing field reads as 1). The committed baselines were
+//! recorded on a 1-vCPU host where every such entry pins ≈ 1.0 — they
+//! stay ungated until a multi-core baseline is recorded, at which point
+//! the gate starts holding parallel speedups to it automatically.
 //!
 //! Two entry points:
 //!
@@ -277,20 +281,32 @@ impl Parser<'_> {
     }
 }
 
-/// JSON paths whose metrics are **not** gated (see the module docs).
-const EXCLUDED_PATHS: &[&str] = &["parallel_engine"];
+/// JSON paths whose metrics are host-parallelism dependent: gated only
+/// when both reports were recorded on multi-core hosts (see the module
+/// docs).
+const PARALLEL_PATHS: &[&str] = &["parallel_engine", "parallel_fanout"];
+
+/// The `meta.host_parallelism` a report was recorded with (`1` when the
+/// field is absent — older baselines predate it).
+pub fn host_parallelism(v: &Json) -> u64 {
+    v.get("meta")
+        .and_then(|m| m.get("host_parallelism"))
+        .and_then(Json::as_f64)
+        .map_or(1, |n| n as u64)
+}
 
 /// Extract every gateable ratio metric: numeric fields whose key contains
 /// `"speedup"`, addressed by a stable JSON path. Array elements are
 /// addressed by their `"name"`/`"shards"` field when present (so a
-/// reordered report still matches), by index otherwise.
-pub fn collect_ratio_metrics(v: &Json) -> Vec<(String, f64)> {
+/// reordered report still matches), by index otherwise. Parallel metrics
+/// ([`PARALLEL_PATHS`]) are included only when `armed`.
+pub fn collect_ratio_metrics(v: &Json, armed: bool) -> Vec<(String, f64)> {
     let mut out = Vec::new();
-    walk(v, String::new(), &mut out);
+    walk(v, String::new(), armed, &mut out);
     out
 }
 
-fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
+fn walk(v: &Json, path: String, armed: bool, out: &mut Vec<(String, f64)>) {
     match v {
         Json::Obj(fields) => {
             for (k, child) in fields {
@@ -301,13 +317,13 @@ fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
                 };
                 if let Json::Num(n) = child {
                     if k.contains("speedup")
-                        && !EXCLUDED_PATHS.iter().any(|ex| child_path.contains(ex))
+                        && (armed || !PARALLEL_PATHS.iter().any(|ex| child_path.contains(ex)))
                     {
                         out.push((child_path, *n));
                         continue;
                     }
                 }
-                walk(child, child_path, out);
+                walk(child, child_path, armed, out);
             }
         }
         Json::Arr(items) => {
@@ -323,7 +339,7 @@ fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
                             .map(|s| format!("shards_{s}"))
                     })
                     .unwrap_or_else(|| i.to_string());
-                walk(child, format!("{path}[{tag}]"), out);
+                walk(child, format!("{path}[{tag}]"), armed, out);
             }
         }
         _ => {}
@@ -355,6 +371,9 @@ pub struct GateReport {
     pub missing_in_current: Vec<String>,
     /// The tolerance the verdicts used.
     pub tolerance: f64,
+    /// Whether parallel metrics were gated (both reports recorded with
+    /// `meta.host_parallelism > 1`).
+    pub parallel_armed: bool,
 }
 
 impl GateReport {
@@ -392,10 +411,15 @@ impl GateReport {
         }
         let _ = writeln!(
             s,
-            "{} metric(s) compared, {} regression(s), tolerance {:.0}%",
+            "{} metric(s) compared, {} regression(s), tolerance {:.0}%, parallel metrics {}",
             self.rows.len(),
             self.failures(),
-            self.tolerance * 100.0
+            self.tolerance * 100.0,
+            if self.parallel_armed {
+                "armed (both hosts multi-core)"
+            } else {
+                "not gated (host_parallelism <= 1 in baseline or current)"
+            }
         );
         s
     }
@@ -405,8 +429,9 @@ impl GateReport {
 /// must satisfy `current >= baseline * (1 - tolerance)`. Improvements
 /// never fail the gate.
 pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
-    let base = collect_ratio_metrics(baseline);
-    let cur = collect_ratio_metrics(current);
+    let armed = host_parallelism(baseline) > 1 && host_parallelism(current) > 1;
+    let base = collect_ratio_metrics(baseline, armed);
+    let cur = collect_ratio_metrics(current, armed);
     let mut rows = Vec::new();
     let mut missing = Vec::new();
     for (metric, b) in &base {
@@ -425,6 +450,7 @@ pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
         rows,
         missing_in_current: missing,
         tolerance,
+        parallel_armed: armed,
     }
 }
 
@@ -501,15 +527,45 @@ mod tests {
     #[test]
     fn collects_speedups_by_stable_path() {
         let v = Json::parse(BASELINE).unwrap();
-        let metrics = collect_ratio_metrics(&v);
+        let metrics = collect_ratio_metrics(&v, false);
         let names: Vec<&str> = metrics.iter().map(|(m, _)| m.as_str()).collect();
         assert!(names.contains(&"classes[count_p2].speedup"), "{names:?}");
         assert!(names.contains(&"count_workload_speedup"));
         assert!(names.contains(&"build.pipelines[optimized_t1].speedup_vs_reference"));
-        // Host-parallelism metrics are never gated.
+        // Host-parallelism metrics are excluded while unarmed...
         assert!(!names.iter().any(|n| n.contains("parallel_engine")));
+        // ...and included when armed.
+        let armed = collect_ratio_metrics(&v, true);
+        assert!(armed.iter().any(|(m, _)| m == "parallel_engine.speedup"));
         // Non-speedup numerics are not metrics.
         assert!(!names.iter().any(|n| n.contains("seed_ns_per_op")));
+    }
+
+    #[test]
+    fn parallel_metrics_arm_only_on_shared_multicore() {
+        let single = r#"{"meta": {"host_parallelism": 1}, "parallel_engine": {"speedup": 2.0}}"#;
+        let multi_ok = r#"{"meta": {"host_parallelism": 8}, "parallel_engine": {"speedup": 2.0}}"#;
+        let multi_bad = r#"{"meta": {"host_parallelism": 8}, "parallel_engine": {"speedup": 0.5}}"#;
+        let no_meta = r#"{"parallel_engine": {"speedup": 0.5}}"#;
+        let parse = |s: &str| Json::parse(s).unwrap();
+        assert_eq!(host_parallelism(&parse(single)), 1);
+        assert_eq!(host_parallelism(&parse(multi_ok)), 8);
+        assert_eq!(host_parallelism(&parse(no_meta)), 1);
+        // Single-core on either side: a parallel collapse passes ungated.
+        for (b, c) in [(single, multi_bad), (multi_ok, no_meta), (single, no_meta)] {
+            let report = compare(&parse(b), &parse(c), 0.25);
+            assert!(!report.parallel_armed);
+            assert!(report.rows.is_empty(), "{}", report.render());
+            assert!(report.passed());
+            assert!(report.render().contains("not gated"));
+        }
+        // Multi-core on both: the same collapse fails the gate.
+        let report = compare(&parse(multi_ok), &parse(multi_bad), 0.25);
+        assert!(report.parallel_armed);
+        assert_eq!(report.failures(), 1, "{}", report.render());
+        assert!(report.render().contains("armed"));
+        // And a healthy multi-core run passes while armed.
+        assert!(compare(&parse(multi_ok), &parse(multi_ok), 0.25).passed());
     }
 
     #[test]

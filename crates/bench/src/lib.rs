@@ -26,7 +26,9 @@ pub mod report;
 pub mod variants;
 pub mod workload;
 
-pub use gate::{collect_ratio_metrics, compare, enforce_baseline_from_env, GateReport, Json};
+pub use gate::{
+    collect_ratio_metrics, compare, enforce_baseline_from_env, host_parallelism, GateReport, Json,
+};
 pub use report::Table;
 pub use variants::{build_variant, BuiltIndex, Variant, ALL_VARIANTS};
 pub use workload::{sample_patterns, time_queries, QueryTiming};

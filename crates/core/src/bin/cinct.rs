@@ -26,7 +26,8 @@
 
 use cinct::text_io::{format_trajectory, parse_path, parse_trajectories};
 use cinct::{
-    CinctBuilder, CinctIndex, Path, PathQuery, ShardPartition, ShardedBuilder, ShardedCinct,
+    CinctBuilder, CinctIndex, Path, PathQuery, QueryTrace, ShardPartition, ShardedBuilder,
+    ShardedCinct,
 };
 use std::process::ExitCode;
 
@@ -45,9 +46,14 @@ fn usage() -> ExitCode {
   cinct append <index-dir> <trajectories.txt>   seal a new batch into a fresh
                                             shard (no rebuild of old shards)
   cinct compact <index-dir> <K>             re-balance the corpus into K shards
-  cinct stats <index>                       index = file or sharded directory
-  cinct count <index> <path>                path = comma-separated edge IDs
-  cinct locate <index> <path>
+  cinct stats <index> [--metrics[=prometheus|json]]
+                                            index = file or sharded directory;
+                                            --metrics dumps the process metric
+                                            registry after loading the index
+  cinct count <index> <path> [--trace]      path = comma-separated edge IDs;
+                                            --trace explains the query: per-
+                                            shard, per-stage breakdown
+  cinct locate <index> <path> [--trace]
   cinct get <index> <trajectory-id>"
     );
     ExitCode::from(2)
@@ -62,9 +68,9 @@ fn main() -> ExitCode {
         ("build", n) if n >= 3 => cmd_build(&args[1], &args[2], &args[3..]),
         ("append", 3) => cmd_append(&args[1], &args[2]),
         ("compact", 3) => cmd_compact(&args[1], &args[2]),
-        ("stats", 2) => cmd_stats(&args[1]),
-        ("count", 3) => cmd_count(&args[1], &args[2]),
-        ("locate", 3) => cmd_locate(&args[1], &args[2]),
+        ("stats", n) if n >= 2 => cmd_stats(&args[1], &args[2..]),
+        ("count", n) if n >= 3 => cmd_count(&args[1], &args[2], &args[3..]),
+        ("locate", n) if n >= 3 => cmd_locate(&args[1], &args[2], &args[3..]),
         ("get", 3) => cmd_get(&args[1], &args[2]),
         _ => return usage(),
     };
@@ -287,8 +293,41 @@ fn cmd_compact(index_dir: &str, k_spec: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(path: &str) -> Result<(), String> {
+/// Parse a `--trace` flag tail for the query verbs.
+fn parse_trace_flag(flags: &[String]) -> Result<bool, String> {
+    match flags {
+        [] => Ok(false),
+        [f] if f == "--trace" => Ok(true),
+        [other, ..] => Err(format!("unknown flag {other}")),
+    }
+}
+
+fn cmd_stats(path: &str, flags: &[String]) -> Result<(), String> {
+    let mut metrics: Option<&str> = None;
+    for f in flags {
+        metrics = Some(match f.as_str() {
+            "--metrics" | "--metrics=prometheus" => "prometheus",
+            "--metrics=json" => "json",
+            other => return Err(format!("unknown flag {other}")),
+        });
+    }
     let backend = load_any(path)?;
+    // The metrics dump reflects this process's work so far — for the CLI
+    // that is the index load itself (open timings, checksum verifies).
+    if let Some(format) = metrics {
+        drop(backend);
+        cinct::metrics::register_all();
+        let registry = cinct_obs::global();
+        print!(
+            "{}",
+            if format == "json" {
+                registry.render_json()
+            } else {
+                registry.render_prometheus()
+            }
+        );
+        return Ok(());
+    }
     match &backend {
         Backend::Mono(idx) => {
             println!("kind:             monolithic (single file)");
@@ -341,10 +380,19 @@ fn cmd_stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_count(path: &str, spec: &str) -> Result<(), String> {
+fn cmd_count(path: &str, spec: &str, flags: &[String]) -> Result<(), String> {
+    let trace = parse_trace_flag(flags)?;
     let backend = load_any(path)?;
     let p = parse_path(spec).map_err(|e| e.to_string())?;
     let path = Path::new(&p);
+    if trace {
+        let tr = match &backend {
+            Backend::Mono(idx) => QueryTrace::monolithic(idx.as_ref(), &p, false),
+            Backend::Sharded(s) => QueryTrace::sharded(s, &p, false),
+        };
+        print!("{}", tr.render());
+        return Ok(());
+    }
     match &backend {
         Backend::Mono(idx) => match idx.try_range(path).map_err(|e| e.to_string())? {
             Some(r) => println!("{} (suffix range {}..{})", r.len(), r.start, r.end),
@@ -378,9 +426,18 @@ fn cmd_count(path: &str, spec: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_locate(path: &str, spec: &str) -> Result<(), String> {
+fn cmd_locate(path: &str, spec: &str, flags: &[String]) -> Result<(), String> {
+    let trace = parse_trace_flag(flags)?;
     let backend = load_any(path)?;
     let p = parse_path(spec).map_err(|e| e.to_string())?;
+    if trace {
+        let tr = match &backend {
+            Backend::Mono(idx) => QueryTrace::monolithic(idx.as_ref(), &p, true),
+            Backend::Sharded(s) => QueryTrace::sharded(s, &p, true),
+        };
+        print!("{}", tr.render());
+        return Ok(());
+    }
     let occ = backend
         .as_query()
         .occurrences(Path::new(&p))

@@ -200,6 +200,7 @@ impl CinctBuilder {
         let t0 = Instant::now();
         let ts = TrajectoryString::build(trajectories, n_edges);
         let ingest = t0.elapsed();
+        crate::metrics::record_ingest(ingest);
         let (index, mut timings) = self.build_from_trajectory_string(&ts, n_edges);
         timings.ingest = ingest;
         (index, timings)
@@ -223,6 +224,7 @@ impl CinctBuilder {
         let t0 = Instant::now();
         let ts = TrajectoryString::from_iter(trajectories, n_edges);
         let ingest = t0.elapsed();
+        crate::metrics::record_ingest(ingest);
         let (index, mut timings) = self.build_from_trajectory_string(&ts, n_edges);
         timings.ingest = ingest;
         (index, timings)
@@ -331,6 +333,10 @@ impl CinctBuilder {
             samples,
             n_network_edges: n_edges,
         };
+        // Every optimized build funnels through here (owned, streamed,
+        // per-shard); the reference pipeline is deliberately unmetered.
+        // `ingest` is recorded by build_timed/build_streamed, which know it.
+        crate::metrics::record_build(&timings);
         (index, timings)
     }
 

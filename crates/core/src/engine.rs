@@ -164,7 +164,9 @@ pub struct QueryEngine<'a> {
 }
 
 /// Evaluate one query against a backend (shared by the sequential loop and
-/// the per-thread chunk workers).
+/// the per-thread chunk workers). Records into the process metrics
+/// ([`crate::metrics::engine`]): a handful of relaxed-atomic samples per
+/// query, reusing the `Instant` the outcome already needs.
 fn evaluate(backend: &dyn PathQuery, query: &Query) -> QueryOutcome {
     let t0 = Instant::now();
     let value = match query {
@@ -188,10 +190,20 @@ fn evaluate(backend: &dyn PathQuery, query: &Query) -> QueryOutcome {
             }
         }
     };
-    QueryOutcome {
-        value,
-        elapsed: t0.elapsed(),
+    let elapsed = t0.elapsed();
+    let m = crate::metrics::engine();
+    m.queries.inc();
+    if value.is_err() {
+        m.errors.inc();
     }
+    match query {
+        Query::Count(_) => &m.count_ns,
+        Query::Range(_) => &m.range_ns,
+        Query::Occurrences(_) => &m.occurrences_ns,
+        Query::Extract { .. } => &m.extract_ns,
+    }
+    .record_duration(elapsed);
+    QueryOutcome { value, elapsed }
 }
 
 impl<'a> QueryEngine<'a> {
@@ -246,6 +258,9 @@ impl<'a> QueryEngine<'a> {
     /// split; otherwise the sequential loop.
     pub fn run(&self, queries: &[Query]) -> BatchReport {
         let threads = self.effective_threads();
+        let m = crate::metrics::engine();
+        m.batch_size.record(queries.len() as u64);
+        m.threads.set(threads.min(queries.len().max(1)) as u64);
         let outcomes = if threads > 1 && queries.len() > 1 {
             self.run_chunked(queries, threads)
         } else {

@@ -118,12 +118,14 @@ pub mod engine;
 pub mod error;
 pub mod et_graph;
 pub mod index;
+pub mod metrics;
 pub mod rml;
 pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod temporal;
 pub mod text_io;
+pub mod trace;
 
 pub use builder::{CinctBuilder, ConstructionTimings};
 pub use engine::{BatchReport, Query, QueryEngine, QueryOutcome, QueryValue};
@@ -136,6 +138,7 @@ pub use stats::DatasetStats;
 pub use temporal::{
     StrictIter, StrictPathMatch, StrictPathQuery, TemporalCinct, TimestampedTrajectory,
 };
+pub use trace::{QueryTrace, ShardTrace, TraceStep};
 
 // The unified query surface lives in `cinct_fmindex` (below every backend
 // in the dependency graph); re-export it so `use cinct::PathQuery` works.

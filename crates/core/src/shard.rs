@@ -465,20 +465,31 @@ impl ShardedCinct {
     /// (resolved once, at assembly) allows more than one worker.
     pub fn shard_ranges(&self, path: &Path) -> Vec<Option<Range<usize>>> {
         let threads = self.fan_threads.min(self.shards.len().max(1));
-        if threads <= 1 || self.shards.len() <= 1 {
-            return self.shards.iter().map(|s| s.index.range(path)).collect();
-        }
-        let mut slots: Vec<Option<Range<usize>>> = vec![None; self.shards.len()];
-        let per = self.shards.len().div_ceil(threads);
-        rayon::scope(|scope| {
-            for (sh_chunk, slot_chunk) in self.shards.chunks(per).zip(slots.chunks_mut(per)) {
-                scope.spawn(move |_| {
-                    for (sh, slot) in sh_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = sh.index.range(path);
-                    }
-                });
-            }
-        });
+        let slots = if threads <= 1 || self.shards.len() <= 1 {
+            self.shards.iter().map(|s| s.index.range(path)).collect()
+        } else {
+            let mut slots: Vec<Option<Range<usize>>> = vec![None; self.shards.len()];
+            let per = self.shards.len().div_ceil(threads);
+            rayon::scope(|scope| {
+                for (sh_chunk, slot_chunk) in self.shards.chunks(per).zip(slots.chunks_mut(per)) {
+                    scope.spawn(move |_| {
+                        for (sh, slot) in sh_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = sh.index.range(path);
+                        }
+                    });
+                }
+            });
+            slots
+        };
+        // Per-fan-out accounting: a few relaxed adds amortized over the
+        // whole shard sweep, off the per-shard search loop.
+        let m = crate::metrics::shard();
+        let matched = slots.iter().filter(|r| r.is_some()).count() as u64;
+        m.fanout_queries.inc();
+        m.fanout_shards_visited.add(slots.len() as u64);
+        m.fanout_shards_matched.add(matched);
+        m.fanout_shards_short_circuited
+            .add(slots.len() as u64 - matched);
         slots
     }
 
@@ -493,6 +504,7 @@ impl ShardedCinct {
     /// edge `>= network_edges()` is rejected with
     /// [`QueryError::UnknownEdge`].
     pub fn append_batch(&mut self, batch: &[Vec<u32>]) -> Result<Range<usize>, QueryError> {
+        let _span = cinct_obs::Span::enter(&crate::metrics::shard().append_ns);
         validate_corpus(batch, self.n_edges)?;
         let index = self.config.index_builder.build(batch, self.n_edges);
         let first = self.lookup.len();
@@ -512,6 +524,7 @@ impl ShardedCinct {
     /// run of [`ShardedCinct::append_batch`] calls has accumulated many
     /// small shards.
     pub fn compact(&mut self, target_shards: usize) -> Result<(), QueryError> {
+        let _span = cinct_obs::Span::enter(&crate::metrics::shard().compact_ns);
         if target_shards == 0 {
             return Err(QueryError::InvalidInput(
                 "compact target must be >= 1 shard".into(),

@@ -126,6 +126,7 @@ impl ShardedCinct {
     /// consistent old index — plus possibly some unreferenced new files,
     /// which the next successful save garbage-collects.
     pub fn save_dir(&self, dir: impl AsRef<FsPath>) -> Result<(), QueryError> {
+        let _span = cinct_obs::Span::enter(&crate::metrics::store().save_ns);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
         // Shard files first, collecting names + checksums for the manifest.
@@ -195,6 +196,7 @@ impl ShardedCinct {
     /// [module docs](self) for the taxonomy); nothing panics on corrupt
     /// or missing state.
     pub fn open_dir(dir: impl AsRef<FsPath>) -> Result<ShardedCinct, QueryError> {
+        let _span = cinct_obs::Span::enter(&crate::metrics::store().open_ns);
         let dir = dir.as_ref();
         let mpath = dir.join(MANIFEST_FILE);
         let bytes = std::fs::read(&mpath).map_err(|e| io_err(&mpath, e))?;
@@ -218,10 +220,12 @@ impl ShardedCinct {
         let (body, tail) = bytes.split_at(bytes.len() - 8);
         let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
         if fnv64(body) != stored {
+            crate::metrics::store().checksum_fail.inc();
             return Err(corrupt(
                 "shard manifest checksum mismatch (truncated or corrupted)",
             ));
         }
+        crate::metrics::store().checksum_ok.inc();
         let mut cur = Cursor::new(&body[8..]);
         let r = &mut cur as &mut dyn std::io::Read;
         let n_edges = read_usize(r)?;
@@ -268,11 +272,13 @@ impl ShardedCinct {
             let spath = dir.join(&name);
             let sbytes = std::fs::read(&spath).map_err(|e| io_err(&spath, e))?;
             if fnv64(&sbytes) != checksum {
+                crate::metrics::store().checksum_fail.inc();
                 return Err(corrupt(format!(
                     "shard file {} checksum mismatch (truncated or corrupted)",
                     spath.display()
                 )));
             }
+            crate::metrics::store().checksum_ok.inc();
             let index = CinctIndex::read_from(&mut Cursor::new(sbytes))?;
             shards.push(crate::shard::Shard { index, globals });
         }

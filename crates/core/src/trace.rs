@@ -1,0 +1,349 @@
+//! Explain-mode tracing: a per-shard, per-stage breakdown of one query.
+//!
+//! The CLI's `--trace` flag answers "where did this query's time go, and
+//! where did its matches come from?" without touching the hot path: a
+//! trace **re-runs** the query with staged timing instead of threading
+//! state through the search loops.
+//!
+//! The stage structure mirrors the engine's actual evaluation:
+//!
+//! 1. **pattern preprocessing** — edge validation against the network
+//!    alphabet (what [`PathQuery::try_range`] checks before searching);
+//! 2. **backward-search range narrowing** — one step per edge. The
+//!    trajectory string stores *reversed* trajectories, so backward
+//!    search consumes the path forward: the suffix range of prefix
+//!    `P[..k]` **is** the intermediate range after `k` search steps,
+//!    which lets the trace recover every intermediate range by prefix
+//!    re-query (`O(L²)` LF steps total — explain mode only);
+//! 3. **fan-out remap** — for locate traces, the per-shard occurrence
+//!    walk whose local hits are remapped into the global trajectory-ID
+//!    namespace.
+//!
+//! A monolithic index traces as a single shard; a [`ShardedCinct`]
+//! produces one [`ShardTrace`] per shard, making short-circuiting
+//! shards (backward search emptied early) directly visible.
+
+use crate::shard::ShardedCinct;
+use cinct_bwt::SYMBOL_OFFSET;
+use cinct_fmindex::{Path, PathQuery};
+use std::fmt::Write as _;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// One backward-search step: the range after consuming one more edge.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// The edge consumed by this step (`path[k-1]` at step `k`).
+    pub edge: u32,
+    /// Suffix range after this step; `None` = the range emptied here.
+    pub range: Option<Range<usize>>,
+    /// Time to narrow to this range (prefix re-query).
+    pub elapsed: Duration,
+}
+
+/// The fan-out remap stage of a locate trace.
+#[derive(Clone, Debug)]
+pub struct LocateTrace {
+    /// Occurrences this shard contributed (after remapping).
+    pub occurrences: usize,
+    /// Time for the shard-local occurrence walk.
+    pub elapsed: Duration,
+}
+
+/// One shard's per-stage breakdown.
+#[derive(Clone, Debug)]
+pub struct ShardTrace {
+    /// Shard number (0 for a monolithic index).
+    pub shard: usize,
+    /// Backward-search steps, in order; stops at the emptying step.
+    pub steps: Vec<TraceStep>,
+    /// `true` when the range emptied before the last edge was consumed —
+    /// the remaining steps never ran in this shard.
+    pub short_circuited: bool,
+    /// The fan-out remap stage (locate traces on locate-capable indexes).
+    pub locate: Option<LocateTrace>,
+}
+
+impl ShardTrace {
+    /// The final suffix range (`None` when the path is absent here).
+    pub fn final_range(&self) -> Option<Range<usize>> {
+        self.steps.last().and_then(|s| s.range.clone())
+    }
+
+    /// Matches this shard contributes to the count.
+    pub fn matches(&self) -> usize {
+        self.final_range().map_or(0, |r| r.len())
+    }
+
+    /// Total backward-search time across the steps.
+    pub fn search_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.elapsed).sum()
+    }
+
+    fn run(shard: usize, backend: &dyn PathQuery, path: &[u32], locate: bool) -> ShardTrace {
+        let mut steps = Vec::with_capacity(path.len());
+        let mut short_circuited = false;
+        for k in 1..=path.len() {
+            let t0 = Instant::now();
+            let range = backend.range(Path::new(&path[..k]));
+            let elapsed = t0.elapsed();
+            let empty = range.is_none();
+            steps.push(TraceStep {
+                edge: path[k - 1],
+                range,
+                elapsed,
+            });
+            if empty {
+                short_circuited = k < path.len();
+                break;
+            }
+        }
+        let locate = (locate && steps.last().is_some_and(|s| s.range.is_some()))
+            .then(|| {
+                let t0 = Instant::now();
+                let occurrences = backend
+                    .occurrences(Path::new(path))
+                    .map(|it| it.count())
+                    .ok()?;
+                Some(LocateTrace {
+                    occurrences,
+                    elapsed: t0.elapsed(),
+                })
+            })
+            .flatten();
+        ShardTrace {
+            shard,
+            steps,
+            short_circuited,
+            locate,
+        }
+    }
+}
+
+/// A complete explain-mode trace of one query. Build with
+/// [`QueryTrace::monolithic`] or [`QueryTrace::sharded`]; render with
+/// [`QueryTrace::render`].
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// The traced path (travel order).
+    pub path: Vec<u32>,
+    /// Time for pattern preprocessing (edge validation).
+    pub preprocess: Duration,
+    /// The first out-of-alphabet edge, if validation failed (no search
+    /// stages run in that case).
+    pub invalid_edge: Option<u32>,
+    /// Per-shard breakdowns (one entry for a monolithic index).
+    pub shards: Vec<ShardTrace>,
+    /// Wall-clock for the whole trace.
+    pub elapsed: Duration,
+}
+
+impl QueryTrace {
+    /// Stage 1: validate the pattern against the backend's alphabet,
+    /// timed. Returns the offending edge on failure.
+    fn preprocess(backend: &dyn PathQuery, path: &[u32]) -> (Duration, Option<u32>) {
+        let t0 = Instant::now();
+        let n_edges = backend.sigma().saturating_sub(SYMBOL_OFFSET as usize);
+        let bad = path.iter().find(|&&e| e as usize >= n_edges).copied();
+        (t0.elapsed(), bad)
+    }
+
+    /// Trace `path` against a monolithic index (one shard entry). Set
+    /// `locate` to include the occurrence-walk stage.
+    pub fn monolithic(backend: &dyn PathQuery, path: &[u32], locate: bool) -> QueryTrace {
+        let t0 = Instant::now();
+        let (preprocess, invalid_edge) = Self::preprocess(backend, path);
+        let shards = if invalid_edge.is_some() || path.is_empty() {
+            Vec::new()
+        } else {
+            vec![ShardTrace::run(0, backend, path, locate)]
+        };
+        QueryTrace {
+            path: path.to_vec(),
+            preprocess,
+            invalid_edge,
+            shards,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Trace `path` against every shard of a sharded corpus.
+    pub fn sharded(index: &ShardedCinct, path: &[u32], locate: bool) -> QueryTrace {
+        let t0 = Instant::now();
+        let (preprocess, invalid_edge) = Self::preprocess(index, path);
+        let shards = if invalid_edge.is_some() || path.is_empty() {
+            Vec::new()
+        } else {
+            (0..index.num_shards())
+                .map(|s| ShardTrace::run(s, index.shard_index(s), path, locate))
+                .collect()
+        };
+        QueryTrace {
+            path: path.to_vec(),
+            preprocess,
+            invalid_edge,
+            shards,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Total matches across all shards.
+    pub fn total_matches(&self) -> usize {
+        self.shards.iter().map(ShardTrace::matches).sum()
+    }
+
+    /// Shards where the path was found.
+    pub fn matched_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.matches() > 0).count()
+    }
+
+    /// Render the per-shard, per-stage breakdown for terminal output.
+    pub fn render(&self) -> String {
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: path {:?} ({} edge{})",
+            self.path,
+            self.path.len(),
+            if self.path.len() == 1 { "" } else { "s" }
+        );
+        let _ = writeln!(
+            out,
+            "  preprocess: {:.2} us (edge validation)",
+            us(self.preprocess)
+        );
+        if let Some(edge) = self.invalid_edge {
+            let _ = writeln!(
+                out,
+                "  aborted: edge {edge} is outside the network alphabet"
+            );
+            return out;
+        }
+        for sh in &self.shards {
+            let outcome = match sh.final_range() {
+                Some(r) => format!("range {}..{} ({} matches)", r.start, r.end, r.len()),
+                None if sh.short_circuited => format!(
+                    "absent (short-circuited after {} of {} steps)",
+                    sh.steps.len(),
+                    self.path.len()
+                ),
+                None => "absent".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  shard {}: {} | search {:.2} us",
+                sh.shard,
+                outcome,
+                us(sh.search_time())
+            );
+            for (k, step) in sh.steps.iter().enumerate() {
+                let narrowed = match &step.range {
+                    Some(r) => format!("{}..{} ({} rows)", r.start, r.end, r.len()),
+                    None => "empty".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    step {}: edge {} -> {} [{:.2} us]",
+                    k + 1,
+                    step.edge,
+                    narrowed,
+                    us(step.elapsed)
+                );
+            }
+            if let Some(loc) = &sh.locate {
+                let _ = writeln!(
+                    out,
+                    "    fan-out remap: {} occurrence{} in {:.2} us",
+                    loc.occurrences,
+                    if loc.occurrences == 1 { "" } else { "s" },
+                    us(loc.elapsed)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  total: {} matches in {}/{} shards, {:.2} us traced",
+            self.total_matches(),
+            self.matched_shards(),
+            self.shards.len(),
+            us(self.elapsed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CinctBuilder;
+    use crate::shard::ShardedBuilder;
+
+    fn paper_trajs() -> Vec<Vec<u32>> {
+        vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
+    }
+
+    #[test]
+    fn monolithic_trace_ranges_match_direct_queries() {
+        let idx = CinctBuilder::new()
+            .locate_sampling(2)
+            .build(&paper_trajs(), 6);
+        let path = [0u32, 1, 2];
+        let tr = QueryTrace::monolithic(&idx, &path, true);
+        assert_eq!(tr.shards.len(), 1);
+        let sh = &tr.shards[0];
+        // Every intermediate range equals the prefix's direct range.
+        assert_eq!(sh.steps.len(), 3);
+        for (k, step) in sh.steps.iter().enumerate() {
+            assert_eq!(step.range, idx.range(Path::new(&path[..=k])));
+        }
+        assert_eq!(tr.total_matches(), idx.count(Path::new(&path)));
+        let loc = sh.locate.as_ref().expect("locate-capable index");
+        assert_eq!(loc.occurrences, 1);
+        assert!(tr.render().contains("step 3: edge 2"));
+    }
+
+    #[test]
+    fn short_circuit_is_reported() {
+        let idx = CinctBuilder::new().build(&paper_trajs(), 6);
+        // Edge 3 only follows 0; [1, 3] empties at step 2 of 3.
+        let tr = QueryTrace::monolithic(&idx, &[1, 3, 0], false);
+        let sh = &tr.shards[0];
+        assert!(sh.short_circuited);
+        assert_eq!(sh.steps.len(), 2);
+        assert_eq!(sh.matches(), 0);
+        assert!(tr.render().contains("short-circuited after 2 of 3 steps"));
+    }
+
+    #[test]
+    fn invalid_edge_aborts_before_search() {
+        let idx = CinctBuilder::new().build(&paper_trajs(), 6);
+        let tr = QueryTrace::monolithic(&idx, &[0, 99], false);
+        assert_eq!(tr.invalid_edge, Some(99));
+        assert!(tr.shards.is_empty());
+        assert!(tr.render().contains("edge 99 is outside"));
+    }
+
+    #[test]
+    fn sharded_trace_breaks_down_per_shard() {
+        let sharded = ShardedBuilder::new()
+            .shards(2)
+            .locate_sampling(2)
+            .build(&paper_trajs(), 6);
+        let path = [1u32, 2];
+        let tr = QueryTrace::sharded(&sharded, &path, true);
+        assert_eq!(tr.shards.len(), 2);
+        assert_eq!(tr.total_matches(), sharded.count(Path::new(&path)));
+        let occ_total: usize = tr
+            .shards
+            .iter()
+            .filter_map(|s| s.locate.as_ref())
+            .map(|l| l.occurrences)
+            .sum();
+        assert_eq!(occ_total, 2);
+        let rendered = tr.render();
+        assert!(rendered.contains("shard 0:"));
+        assert!(rendered.contains("shard 1:"));
+        assert!(rendered.contains("2 matches in"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Fixed-bucket, log-scale histograms for nanosecond-granularity
+//! latencies.
+//!
+//! # Bucket layout
+//!
+//! Values `0..32` get one **exact** bucket each; every larger value lands
+//! in one of four log-linear sub-buckets per power of two (the value's
+//! octave, split by its next two significant bits). That is 32 + 59×4 =
+//! [`NUM_BUCKETS`] buckets covering the full `u64` range with a relative
+//! resolution of ≤ 25% per bucket (quantile estimates err by at most one
+//! bucket's width) — the HdrHistogram idea, shrunk to a fixed array with
+//! no configuration.
+//!
+//! # Cost model
+//!
+//! [`Histogram::record`] is branch-light integer arithmetic plus three
+//! relaxed atomic RMWs (bucket, sum, max) — no locks, no allocation,
+//! safe to leave on a query hot path measured in microseconds. Reading
+//! ([`Histogram::snapshot`]) scans the bucket array and is meant for
+//! exposition endpoints, not hot paths.
+//!
+//! Snapshots taken while writers are running are statistically, not
+//! atomically, consistent: each bucket is exact, but the set may straddle
+//! in-flight samples. Once writers quiesce, totals are exact.
+
+use crate::metric::Gauge;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Values below this get one exact bucket each.
+const EXACT: u64 = 32;
+/// log2 of [`EXACT`] — the first octave that is sub-bucketed.
+const FIRST_OCTAVE: u32 = 5;
+/// Sub-buckets per octave above the exact range.
+const SUBS: usize = 4;
+/// Total bucket count: 32 exact + 4 per octave for octaves 5..=63.
+pub const NUM_BUCKETS: usize = EXACT as usize + (64 - FIRST_OCTAVE as usize) * SUBS;
+
+/// Bucket index of value `v`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    EXACT as usize + (octave - FIRST_OCTAVE) as usize * SUBS + sub
+}
+
+/// Smallest value that lands in bucket `i` (buckets partition `u64`:
+/// bucket `i` holds `bucket_lo(i) ..= bucket_hi(i)`).
+pub fn bucket_lo(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    if (i as u64) < EXACT {
+        return i as u64;
+    }
+    let octave = (i - EXACT as usize) / SUBS + FIRST_OCTAVE as usize;
+    let sub = ((i - EXACT as usize) % SUBS) as u64;
+    (4 + sub) << (octave - 2)
+}
+
+/// Largest value that lands in bucket `i`.
+pub fn bucket_hi(i: usize) -> u64 {
+    if i + 1 < NUM_BUCKETS {
+        bucket_lo(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// A concurrent log-scale histogram (see the [module docs](self)).
+///
+/// ```
+/// let h = cinct_obs::Histogram::new();
+/// for ns in [120, 130, 140, 9_000] {
+///     h.record(ns);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.max, 9_000);
+/// assert!(s.p50 >= 96 && s.p50 <= 160); // one bucket's resolution
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: Gauge,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time read of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed). Zero when empty.
+    pub max: u64,
+    /// Estimated median (lower bound of the covering bucket).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean value, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array from a const item
+        // (each use of a const is a fresh value).
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; NUM_BUCKETS],
+            sum: AtomicU64::new(0),
+            max: Gauge::new(),
+        }
+    }
+
+    /// Record one sample (typically nanoseconds, but any `u64` scale
+    /// works as long as one histogram sticks to one unit).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.set_max(v);
+    }
+
+    /// Record a [`Duration`] as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Read counts, sum, max and the p50/p90/p99 estimates in one pass.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile sample, 1-based, clamped into range.
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_lo(i);
+                }
+            }
+            bucket_lo(NUM_BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.get(),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_inclusive, cumulative_count)`
+    /// pairs — the shape a Prometheus histogram exposition wants.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                cum += c;
+                out.push((bucket_hi(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_are_exact() {
+        for v in 0..EXACT {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_lo(v as usize), v);
+            assert_eq!(bucket_hi(v as usize), v.max(31).min(v));
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every bucket's lo is the previous bucket's hi + 1.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(bucket_lo(i), bucket_hi(i - 1) + 1, "bucket {i}");
+        }
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_hi(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn boundary_values_land_in_their_bucket() {
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(bucket_hi(i)), i, "hi of bucket {i}");
+        }
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn resolution_is_at_most_a_quarter() {
+        // Above the exact range, hi/lo per bucket stays under 1.25.
+        for i in EXACT as usize..NUM_BUCKETS - 1 {
+            let (lo, hi) = (bucket_lo(i) as f64, bucket_hi(i) as f64);
+            assert!(hi / lo < 1.25 + 1e-9, "bucket {i}: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn snapshot_quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        // Estimates are bucket lower bounds: within 25% below the true
+        // quantile, never above it.
+        for (est, truth) in [(s.p50, 500u64), (s.p90, 900), (s.p99, 990)] {
+            assert!(est <= truth, "estimate {est} above true {truth}");
+            assert!(
+                est as f64 >= truth as f64 * 0.75,
+                "estimate {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_bucket_export() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (3, 2));
+        assert_eq!(buckets[1].1, 3);
+        assert!(buckets[1].0 >= 100);
+    }
+}

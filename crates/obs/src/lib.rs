@@ -1,0 +1,63 @@
+//! Zero-overhead observability for the CiNCT workspace.
+//!
+//! Dependency-free metrics: relaxed-atomic [`Counter`]s and [`Gauge`]s,
+//! fixed-bucket log-scale [`Histogram`]s with p50/p90/p99 snapshots,
+//! scoped [`Span`] timers, and a [`Registry`] that renders everything as
+//! Prometheus text or JSON. Every sample is one or a few uncontended
+//! relaxed atomic adds — cheap enough to leave on in a query hot path
+//! (the workspace bench gate enforces that this stays true).
+//!
+//! # Quickstart
+//!
+//! Resolve handles once (at startup or in a `OnceLock`), record freely:
+//!
+//! ```
+//! use cinct_obs::{Registry, Span};
+//!
+//! let registry = Registry::new(); // or cinct_obs::global()
+//! let queries = registry.counter("app_queries_total", "Queries served");
+//! let latency = registry.histogram("app_query_ns", "Query latency (ns)");
+//!
+//! for _ in 0..3 {
+//!     let _span = Span::enter(&latency); // records on drop
+//!     queries.inc();
+//!     // ... serve the query ...
+//! }
+//!
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("app_queries_total 3"));
+//! assert!(registry.render_json().contains("\"app_query_ns\""));
+//! ```
+//!
+//! Library code in this workspace records into [`global()`] so that the
+//! CLI (`cinct stats --metrics`) and any long-lived server expose one
+//! coherent view. The idiom for a component is a lazily initialised
+//! handle struct:
+//!
+//! ```
+//! use std::sync::{Arc, OnceLock};
+//!
+//! struct EngineMetrics {
+//!     queries: Arc<cinct_obs::Counter>,
+//! }
+//!
+//! fn metrics() -> &'static EngineMetrics {
+//!     static M: OnceLock<EngineMetrics> = OnceLock::new();
+//!     M.get_or_init(|| EngineMetrics {
+//!         queries: cinct_obs::global().counter("engine_queries_total", "Queries"),
+//!     })
+//! }
+//!
+//! metrics().queries.inc(); // hot path: one OnceLock load + one relaxed add
+//! ```
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::{global, Registry};
+pub use span::{timed, Span};

@@ -1,0 +1,110 @@
+//! The two scalar metric primitives: monotone [`Counter`]s and
+//! last-write-wins [`Gauge`]s.
+//!
+//! Both are a single `AtomicU64` manipulated with `Ordering::Relaxed` —
+//! one uncontended atomic RMW (a handful of cycles on x86/ARM) per
+//! sample, no locks, no allocation. Relaxed ordering is deliberate:
+//! metrics need each sample to be *counted*, not *ordered* relative to
+//! other memory traffic, and exposition reads are statistical snapshots,
+//! not synchronization points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// let queries = cinct_obs::Counter::new();
+/// queries.inc();
+/// queries.add(41);
+/// assert_eq!(queries.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` events at once.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total. Exact once all writers have quiesced; a statistical
+    /// snapshot while they are running.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (a level, not a rate): thread counts, shard
+/// counts, bytes resident. Last write wins.
+///
+/// ```
+/// let threads = cinct_obs::Gauge::new();
+/// threads.set(8);
+/// assert_eq!(threads.get(), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Read the current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Record `v` if it exceeds the current value (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_overwrites_and_maxes() {
+        let g = Gauge::new();
+        g.set(5);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(2);
+        assert_eq!(g.get(), 3);
+        g.set_max(7);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,253 @@
+//! The process-wide metric registry and its exposition formats.
+//!
+//! A [`Registry`] is a name → metric map. Callers resolve a handle once
+//! (`registry.counter("cinct_queries_total", "...")`), stash the returned
+//! `Arc`, and from then on never touch the registry again — the mutex
+//! guards only registration and rendering, never the sample path.
+//!
+//! [`global()`] is the conventional process-wide instance; every
+//! instrumented layer in the workspace records there so one
+//! [`render_prometheus`](Registry::render_prometheus) call sees the whole
+//! engine. Isolated [`Registry::new`] instances exist for tests.
+
+use crate::histogram::Histogram;
+use crate::metric::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A name → metric map with get-or-create registration and Prometheus /
+/// JSON exposition. See the [module docs](self) for the usage pattern.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// The process-wide registry all workspace instrumentation records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// `true` for a valid Prometheus metric name: `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// An empty registry (the [`global()`] one usually serves better).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is not a valid metric name, or is already registered as
+    /// a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name` (panics like [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name` (panics like [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// `true` when nothing has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges render as their native types; histograms
+    /// render as `summary` families (p50/p90/p99 quantile samples plus
+    /// `_sum` and `_count`) so the output stays compact at any scale.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap().clone();
+        let mut out = String::new();
+        for e in &entries {
+            if !e.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            }
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {} summary", e.name);
+                    for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                        let _ = writeln!(out, "{}{{quantile=\"{}\"}} {}", e.name, q, v);
+                    }
+                    let _ = writeln!(out, "{}_sum {}", e.name, s.sum);
+                    let _ = writeln!(out, "{}_count {}", e.name, s.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render every metric as a single JSON object. Counters and gauges
+    /// map to numbers; histograms map to
+    /// `{"count","sum","max","p50","p90","p99"}` objects.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries.lock().unwrap().clone();
+        let mut out = String::from("{");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{}\": ", e.name);
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        s.count, s.sum, s.max, s.p50, s.p90, s.p99
+                    );
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "");
+        let _ = r.gauge("x_total", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        let _ = Registry::new().counter("9starts_with_digit", "");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let r = Registry::new();
+        r.counter("cinct_queries_total", "Total queries").add(7);
+        r.gauge("cinct_threads", "Worker threads").set(4);
+        let h = r.histogram("cinct_query_ns", "Query latency");
+        h.record(100);
+        h.record(200);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE cinct_queries_total counter"));
+        assert!(text.contains("cinct_queries_total 7"));
+        assert!(text.contains("# TYPE cinct_threads gauge"));
+        assert!(text.contains("# TYPE cinct_query_ns summary"));
+        assert!(text.contains("cinct_query_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("cinct_query_ns_count 2"));
+        assert!(text.contains("cinct_query_ns_sum 300"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_contains_every_metric() {
+        let r = Registry::new();
+        r.counter("a_total", "").add(1);
+        r.histogram("b_ns", "").record(5);
+        let json = r.render_json();
+        assert!(json.contains("\"a_total\": 1"));
+        assert!(json.contains("\"b_ns\": {\"count\": 1, \"sum\": 5"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Registry;
+        let b = global() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

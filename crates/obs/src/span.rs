@@ -1,0 +1,100 @@
+//! Scoped timers that record into a [`Histogram`](crate::Histogram) when
+//! dropped.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// A running timer tied to a histogram; its elapsed wall time is recorded
+/// (in nanoseconds) when it goes out of scope.
+///
+/// ```
+/// let latency = cinct_obs::Histogram::new();
+/// {
+///     let _span = cinct_obs::Span::enter(&latency);
+///     // ... the timed work ...
+/// } // recorded here
+/// assert_eq!(latency.count(), 1);
+/// ```
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'h> {
+    target: &'h Histogram,
+    start: Instant,
+}
+
+impl<'h> Span<'h> {
+    /// Start timing; the measurement lands in `target` on drop.
+    #[inline]
+    pub fn enter(target: &'h Histogram) -> Self {
+        Span {
+            target,
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far, without ending the span.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// End the span now and return the recorded nanoseconds.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.target.record(ns);
+        std::mem::forget(self); // Drop would record a second sample
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.target.record(self.elapsed_ns());
+    }
+}
+
+/// Time a closure into a histogram and return its result.
+///
+/// ```
+/// let h = cinct_obs::Histogram::new();
+/// let answer = cinct_obs::timed(&h, || 6 * 7);
+/// assert_eq!(answer, 42);
+/// assert_eq!(h.count(), 1);
+/// ```
+#[inline]
+pub fn timed<T>(target: &Histogram, f: impl FnOnce() -> T) -> T {
+    let _span = Span::enter(target);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Histogram::new();
+        {
+            let _s = Span::enter(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let h = Histogram::new();
+        let s = Span::enter(&h);
+        let ns = s.finish();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), ns);
+    }
+
+    #[test]
+    fn timed_passes_through_the_result() {
+        let h = Histogram::new();
+        assert_eq!(timed(&h, || "ok"), "ok");
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the histogram bucket scheme: the buckets must
+//! partition `u64` exactly, and snapshots must bracket true quantiles.
+
+use cinct_obs::histogram::{bucket_hi, bucket_lo, bucket_of, NUM_BUCKETS};
+use cinct_obs::Histogram;
+use proptest::prelude::*;
+
+fn mixed_value() -> impl Strategy<Value = u64> {
+    // Mix small exact-bucket values, mid-range latencies, and full-range
+    // u64s so every region of the bucket table gets exercised.
+    (0u32..3, any::<u64>()).prop_map(|(class, raw)| match class {
+        0 => raw % 64,
+        1 => 64 + raw % 1_000_000,
+        _ => raw,
+    })
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(mixed_value(), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v);
+        prop_assert!(v <= bucket_hi(i));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi));
+    }
+
+    #[test]
+    fn neighbouring_values_straddle_bucket_edges(i in 1usize..NUM_BUCKETS) {
+        // The value just below a bucket's lower bound belongs to the
+        // previous bucket: no gaps, no overlaps.
+        let lo = bucket_lo(i);
+        prop_assert_eq!(bucket_of(lo), i);
+        prop_assert_eq!(bucket_of(lo - 1), i - 1);
+        prop_assert_eq!(bucket_hi(i - 1), lo - 1);
+    }
+
+    #[test]
+    fn snapshot_totals_are_exact_and_quantiles_bracket(values in values_strategy()) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(s.sum, expected_sum);
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+
+        // Each reported quantile must be the lower bound of the bucket
+        // holding the true quantile sample.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, est) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert_eq!(est, bucket_lo(bucket_of(truth)),
+                "q={} truth={} est={}", q, truth, est);
+        }
+    }
+}

@@ -1,11 +1,15 @@
 //! Fleet analytics: index a city-scale synthetic taxi corpus and answer the
 //! questions the paper's introduction motivates — corridor usage counts,
 //! popular-route discovery, and on-the-fly trajectory recovery — all from
-//! the compressed index.
+//! the compressed index, driven through the batch [`QueryEngine`].
+//!
+//! Because every engine call is instrumented, the run ends by printing the
+//! process metrics snapshot: the same Prometheus text `cinct stats
+//! --metrics` exposes, populated by the analytics that just ran.
 //!
 //! Run: `cargo run --release --example fleet_analytics`
 
-use cinct::{CinctBuilder, DatasetStats};
+use cinct::{CinctBuilder, DatasetStats, Query, QueryEngine, QueryValue};
 use cinct_bwt::TrajectoryString;
 use cinct_fmindex::{Path, PathQuery};
 use std::time::Instant;
@@ -41,43 +45,69 @@ fn main() {
         index.bits_per_symbol()
     );
 
-    // Corridor usage: how many vehicles traverse each 3-edge corridor
-    // around a centrally located segment?
+    // All analytics below go through the batch engine; thread count 0 =
+    // auto-size to the host.
+    let engine = QueryEngine::new(&index).parallel(0);
+
+    // Corridor usage: how many vehicles traverse each 2-edge corridor
+    // around a centrally located segment? One count query per corridor.
     let probe = ds.trajectories[0][1];
-    let followups = ds.network.successors(probe);
+    let corridors: Vec<Vec<u32>> = ds
+        .network
+        .successors(probe)
+        .iter()
+        .take(4)
+        .map(|&next| vec![probe, next])
+        .collect();
+    let batch: Vec<Query> = corridors.iter().map(|c| Query::count(c)).collect();
+    let report = engine.run(&batch);
     println!("\nCorridor usage downstream of segment {probe}:");
-    for &next in followups.iter().take(4) {
-        let count = index.count_path(&[probe, next]);
-        println!("  {probe} -> {next}: {count} vehicles");
+    for (corridor, outcome) in corridors.iter().zip(&report.outcomes) {
+        if let Ok(v) = &outcome.value {
+            println!(
+                "  {} -> {}: {} vehicles",
+                corridor[0],
+                corridor[1],
+                v.matches()
+            );
+        }
     }
 
     // Popular-route discovery: the most traveled 6-edge sub-path among a
-    // sample of candidates taken from the data.
+    // sample of candidates taken from the data — one big count batch,
+    // fanned across threads by the engine.
+    let candidates: Vec<Vec<u32>> = ds
+        .trajectories
+        .iter()
+        .take(400)
+        .flat_map(|t| t.windows(6).step_by(3).map(<[u32]>::to_vec))
+        .collect();
+    let batch: Vec<Query> = candidates.iter().map(|c| Query::count(c)).collect();
     let t0 = Instant::now();
-    let mut best: (usize, Vec<u32>) = (0, Vec::new());
-    let mut probed = 0usize;
-    for t in ds.trajectories.iter().take(400) {
-        for w in t.windows(6).step_by(3) {
-            probed += 1;
-            let c = index.count_path(w);
-            if c > best.0 {
-                best = (c, w.to_vec());
-            }
-        }
-    }
+    let report = engine.run(&batch);
+    let (best_count, best_route) = candidates
+        .iter()
+        .zip(&report.outcomes)
+        .filter_map(|(c, o)| o.value.as_ref().ok().map(|v| (v.matches(), c)))
+        .max_by_key(|&(n, _)| n)
+        .expect("non-empty candidate batch");
     println!(
-        "\nScanned {probed} candidate routes in {:.1} ms; most popular 6-edge route:",
-        t0.elapsed().as_secs_f64() * 1e3
+        "\nScanned {} candidate routes in {:.1} ms ({} threads, {:.1} us/query); \
+         most popular 6-edge route:",
+        candidates.len(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        engine.effective_threads(),
+        report.mean_us()
     );
-    println!("  {:?} with {} travelers", best.1, best.0);
+    println!("  {best_route:?} with {best_count} travelers");
 
-    // Who exactly drives it? (streaming locate + trajectory recovery)
-    if let Ok(occ) = index.occurrences(Path::new(&best.1)) {
-        // The iterator is lazy: taking 5 walks only 5 sampled-SA chains.
-        let occurrences: Vec<(usize, usize)> = occ.take(5).collect();
+    // Who exactly drives it? (locate + trajectory recovery)
+    let outcome = engine.run_one(&Query::occurrences(best_route));
+    if let Ok(QueryValue::Occurrences(occurrences)) = outcome.value {
         println!(
-            "  first {} occurrences (trajectory, offset): {occurrences:?}",
-            occurrences.len()
+            "  first {} occurrences (trajectory, offset): {:?}",
+            occurrences.len().min(5),
+            &occurrences[..occurrences.len().min(5)]
         );
         if let Some(&(tid, _)) = occurrences.first() {
             let full = index.trajectory(tid);
@@ -90,7 +120,7 @@ fn main() {
         }
     }
 
-    // Sanity: suffix ranges agree with a brute-force scan on a few paths.
+    // Sanity: engine counts agree with a brute-force scan on a few paths.
     let ts = TrajectoryString::build(&ds.trajectories, ds.n_edges());
     println!(
         "\nVerification: |T| = {} symbols indexed, queries agree with scans.",
@@ -103,7 +133,15 @@ fn main() {
             .iter()
             .map(|u| u.windows(path.len()).filter(|w| *w == path).count())
             .sum();
-        assert_eq!(index.count_path(path), expected);
+        let got = engine.run_one(&Query::count(path));
+        assert_eq!(got.value.expect("valid path").matches(), expected);
+        assert_eq!(index.count(Path::new(path)), expected);
     }
     println!("OK");
+
+    // Everything above was recorded by the instrumentation layer; this is
+    // the snapshot `cinct stats --metrics` would serve.
+    println!("\n--- metrics snapshot (Prometheus text) ---");
+    cinct::metrics::register_all();
+    print!("{}", cinct_obs::global().render_prometheus());
 }
