@@ -1,0 +1,214 @@
+//! CI smoke client for `cinct serve`: exercises every endpoint of a
+//! running server, checks the error taxonomy over the wire, validates
+//! the `/metrics` exposition against the Prometheus text grammar, and
+//! (with `--shutdown`) drives a graceful drain and verifies new
+//! connections are refused afterwards.
+//!
+//! Usage: `serveclient <host:port> [--shutdown]`
+//!
+//! Exits non-zero on the first failed check (every check is an
+//! `assert!`), so a CI job can background `cinct serve`, point this
+//! binary at it, and fail the build on any protocol regression.
+
+use cinct_serve::json::{obj, Json};
+use cinct_serve::Client;
+use std::time::{Duration, Instant};
+
+/// Minimal Prometheus text-format grammar check: every line is a
+/// `# HELP`/`# TYPE` comment or `name[{labels}] value` with a metric
+/// name matching `[a-zA-Z_:][a-zA-Z0-9_:]*` and a float-parseable value.
+fn check_prometheus_grammar(text: &str) {
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "comment line is neither HELP nor TYPE: {line:?}"
+            );
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value: {line:?}"));
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                    .unwrap_or(false)
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in line: {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "metrics exposition has no samples");
+}
+
+fn count_path(client: &mut Client, path: &[u32]) -> usize {
+    let body = obj(&[("path", Json::from(path.to_vec())), ("cache", false.into())]);
+    let (status, resp) = client.post_json("/v1/count", &body).expect("count");
+    assert_eq!(status, 200, "count failed: {}", resp.render());
+    resp.get("count").and_then(Json::as_usize).expect("count")
+}
+
+fn error_kind(resp: &Json) -> Option<&str> {
+    resp.get("error")?.get("kind")?.as_str()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: serveclient <host:port> [--shutdown]");
+        std::process::exit(2);
+    };
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+
+    // Liveness + corpus shape.
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"), "healthz");
+    let (status, body) = client.get("/v1/stats").expect("stats");
+    assert_eq!(status, 200, "stats");
+    let stats = Json::parse(&body).expect("stats JSON");
+    let shards = stats
+        .get("shards")
+        .and_then(Json::as_usize)
+        .expect("shards");
+    let trajectories = stats
+        .get("trajectories")
+        .and_then(Json::as_usize)
+        .expect("trajectories");
+    let locate = stats
+        .get("locate_supported")
+        .and_then(Json::as_bool)
+        .expect("locate_supported");
+    assert!(shards >= 1 && trajectories >= 1, "empty corpus served");
+    println!("stats: {shards} shards, {trajectories} trajectories, locate={locate}");
+
+    // Query → append → query: the count of [0] must grow by at least
+    // the two appended single-edge trajectories.
+    let before = count_path(&mut client, &[0]);
+    let (status, resp) = client
+        .post_json(
+            "/v1/append",
+            &obj(&[("batch", Json::from(vec![vec![0u32], vec![0u32]]))]),
+        )
+        .expect("append");
+    assert_eq!(status, 200, "append failed: {}", resp.render());
+    let assigned = resp.get("assigned").expect("assigned");
+    let (start, end) = (
+        assigned.get("start").and_then(Json::as_usize).unwrap(),
+        assigned.get("end").and_then(Json::as_usize).unwrap(),
+    );
+    assert_eq!(end - start, 2, "append assigned {start}..{end}");
+    let epoch = resp.get("epoch").and_then(Json::as_usize).unwrap_or(0);
+    assert!(epoch >= 1, "append did not advance the epoch");
+    let after = count_path(&mut client, &[0]);
+    assert!(
+        after >= before + 2,
+        "count of [0] went {before} -> {after} across an append of two [0] trajectories"
+    );
+    println!("append: assigned [{start}, {end}), epoch {epoch}, count {before} -> {after}");
+
+    // Extract one of the trajectories we just appended.
+    let (status, resp) = client
+        .post_json("/v1/extract", &obj(&[("trajectory", start.into())]))
+        .expect("extract");
+    assert_eq!(status, 200, "extract failed: {}", resp.render());
+    assert_eq!(
+        resp.get("symbols")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1),
+        "extracted trajectory should be the appended [0]"
+    );
+
+    // Locate honours the corpus's capability.
+    let (status, resp) = client
+        .post_json("/v1/locate", &obj(&[("path", Json::from(vec![0u32]))]))
+        .expect("locate");
+    if locate {
+        assert_eq!(status, 200, "locate failed: {}", resp.render());
+        let total = resp.get("total").and_then(Json::as_usize).expect("total");
+        assert!(total >= 2, "locate total {total} < appended occurrences");
+    } else {
+        assert_eq!(status, 422, "locate on a count-only corpus");
+        assert_eq!(error_kind(&resp), Some("locate_unsupported"));
+    }
+
+    // Error taxonomy over the wire: client faults are typed 4xx.
+    let (status, resp) = client
+        .post_json(
+            "/v1/count",
+            &obj(&[("path", Json::from(vec![99_999_999u64]))]),
+        )
+        .expect("unknown edge probe");
+    assert_eq!(status, 400, "unknown edge status");
+    assert_eq!(error_kind(&resp), Some("unknown_edge"));
+    let (status, body) = client
+        .post("/v1/count", "{\"path\": [1,")
+        .expect("bad json");
+    let resp = Json::parse(&body).expect("error body is JSON");
+    assert_eq!(status, 400, "malformed JSON status");
+    assert_eq!(error_kind(&resp), Some("malformed_json"));
+    let (status, body) = client
+        .post("/v1/count", "{\"path\": []}")
+        .expect("empty pattern");
+    let resp = Json::parse(&body).expect("error body is JSON");
+    assert_eq!(status, 400, "empty pattern status");
+    assert_eq!(error_kind(&resp), Some("empty_pattern"));
+    let (status, _) = client.get("/no/such/route").expect("404 probe");
+    assert_eq!(status, 404, "unknown route");
+    println!("error taxonomy: unknown_edge/malformed_json/empty_pattern/404 all typed");
+
+    // Metrics exposition: grammar-valid and carrying the serve catalog.
+    let (status, text) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200, "metrics");
+    check_prometheus_grammar(&text);
+    for name in [
+        "cinct_serve_requests_total",
+        "cinct_serve_appends_total",
+        "cinct_serve_epoch",
+        "cinct_queries_total",
+    ] {
+        assert!(text.contains(name), "metrics exposition missing {name}");
+    }
+    println!("metrics: Prometheus grammar valid, serve + core catalogs present");
+
+    if shutdown {
+        let (status, body) = client.post("/admin/shutdown", "{}").expect("shutdown");
+        assert_eq!(status, 200, "shutdown");
+        let ack = Json::parse(&body).expect("shutdown ack is JSON");
+        assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true));
+        // Drain must stick: within a few seconds new connections are
+        // refused (the listener is closed before workers finish).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let refused = Client::connect(addr.as_str())
+                .and_then(|mut c| c.get("/healthz"))
+                .is_err();
+            if refused {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server still accepting connections after drain"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        println!("drain: new connections refused");
+    }
+    println!("serveclient: all checks passed");
+}

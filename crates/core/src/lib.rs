@@ -133,7 +133,7 @@ pub use error::QueryError;
 pub use et_graph::EtGraph;
 pub use index::CinctIndex;
 pub use rml::{LabelingStrategy, Rml};
-pub use shard::{ShardPartition, ShardedBuilder, ShardedCinct};
+pub use shard::{PreparedBatch, ShardPartition, ShardedBuilder, ShardedCinct};
 pub use stats::DatasetStats;
 pub use temporal::{
     StrictIter, StrictPathMatch, StrictPathQuery, TemporalCinct, TimestampedTrajectory,

@@ -293,6 +293,29 @@ fn build_shards(
         .collect()
 }
 
+/// A batch validated and built into a shard-shaped index, not yet part
+/// of any corpus. Produced by [`ShardedCinct::prepare_batch`] (cheap to
+/// hold, expensive to make); consumed by
+/// [`ShardedCinct::install_prepared`], which assigns the global IDs.
+#[derive(Clone, Debug)]
+pub struct PreparedBatch {
+    index: CinctIndex,
+    len: usize,
+}
+
+impl PreparedBatch {
+    /// Number of trajectories the batch will add.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the batch adds nothing (unreachable through
+    /// [`ShardedCinct::prepare_batch`], which rejects empty corpora).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// A corpus partitioned across K per-shard [`CinctIndex`]es, queried as
 /// one [`PathQuery`] backend under a global trajectory-ID namespace.
 ///
@@ -503,18 +526,45 @@ impl ShardedCinct {
     /// edge-ID alphabet is **fixed at first build** — a batch touching an
     /// edge `>= network_edges()` is rejected with
     /// [`QueryError::UnknownEdge`].
+    ///
+    /// This is [`ShardedCinct::prepare_batch`] followed by
+    /// [`ShardedCinct::install_prepared`]; long-lived servers call the
+    /// two halves separately so the expensive build runs while readers
+    /// keep querying, and only the O(batch) install needs exclusivity.
     pub fn append_batch(&mut self, batch: &[Vec<u32>]) -> Result<Range<usize>, QueryError> {
+        let prepared = self.prepare_batch(batch)?;
+        Ok(self.install_prepared(prepared))
+    }
+
+    /// First half of an append: validate `batch` and build it into a
+    /// shard-shaped index, through `&self` — concurrent readers (and
+    /// other `prepare_batch` calls) proceed untouched. The result is
+    /// position-independent: global IDs are assigned at
+    /// [`ShardedCinct::install_prepared`] time, so prepared batches may
+    /// install in any order, including after other appends landed.
+    pub fn prepare_batch(&self, batch: &[Vec<u32>]) -> Result<PreparedBatch, QueryError> {
         let _span = cinct_obs::Span::enter(&crate::metrics::shard().append_ns);
         validate_corpus(batch, self.n_edges)?;
-        let index = self.config.index_builder.build(batch, self.n_edges);
+        Ok(PreparedBatch {
+            index: self.config.index_builder.build(batch, self.n_edges),
+            len: batch.len(),
+        })
+    }
+
+    /// Second half of an append: assign the next global IDs to a
+    /// prepared batch and install it as a fresh shard. O(batch) — no
+    /// decompression, no rebuild, no per-shard work — so a server can
+    /// hold its write lock for microseconds rather than a build.
+    pub fn install_prepared(&mut self, prepared: PreparedBatch) -> Range<usize> {
+        let PreparedBatch { index, len } = prepared;
         let first = self.lookup.len();
-        let globals: Vec<u32> = (first..first + batch.len()).map(|g| g as u32).collect();
+        let globals: Vec<u32> = (first..first + len).map(|g| g as u32).collect();
         let s = self.shards.len() as u32;
-        self.lookup.extend((0..batch.len()).map(|l| (s, l as u32)));
+        self.lookup.extend((0..len).map(|l| (s, l as u32)));
         self.bases
             .push(self.bases.last().unwrap() + index.text_len());
         self.shards.push(Shard { index, globals });
-        Ok(first..first + batch.len())
+        first..first + len
     }
 
     /// Re-balance the corpus into `target_shards` shards (decompressing
@@ -794,6 +844,48 @@ mod tests {
         );
         assert!(sharded.append_batch(&[]).is_err());
         assert!(sharded.append_batch(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn prepare_then_install_matches_append() {
+        // The split API must be observationally identical to append_batch,
+        // including when prepares interleave with other installs (global
+        // IDs are assigned at install time, not prepare time).
+        let mut a = ShardedBuilder::new()
+            .shards(2)
+            .locate_sampling(4)
+            .build(&paper_trajs(), 6);
+        let mut b = a.clone();
+        let batch1 = vec![vec![1u32, 2, 5], vec![0, 1]];
+        let batch2 = vec![vec![0u32, 3, 0]];
+        let ids1 = a.append_batch(&batch1).unwrap();
+        let ids2 = a.append_batch(&batch2).unwrap();
+        // Prepare both against the *pre-append* corpus, install in order.
+        let p1 = b.prepare_batch(&batch1).unwrap();
+        assert_eq!(p1.len(), 2);
+        let p2 = b.prepare_batch(&batch2).unwrap();
+        assert_eq!(b.install_prepared(p1), ids1);
+        assert_eq!(b.install_prepared(p2), ids2);
+        assert_eq!(a.num_shards(), b.num_shards());
+        for g in 0..a.num_trajectories() {
+            assert_eq!(a.trajectory(g), b.trajectory(g), "g={g}");
+        }
+        for path in [[0u32, 1], [1, 2], [0, 3]] {
+            let p = Path::new(&path);
+            assert_eq!(a.count(p), b.count(p));
+            assert_eq!(
+                a.occurrences(p).unwrap().collect_sorted(),
+                b.occurrences(p).unwrap().collect_sorted()
+            );
+        }
+        // Validation stays the prepare half's job.
+        assert_eq!(
+            b.prepare_batch(&[vec![0, 99]]).err(),
+            Some(QueryError::UnknownEdge {
+                edge: 99,
+                n_edges: 6
+            })
+        );
     }
 
     #[test]

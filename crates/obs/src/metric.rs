@@ -81,6 +81,30 @@ impl Gauge {
     pub fn set_max(&self, v: u64) {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
+
+    /// Raise the level by one (in-flight request counts and other
+    /// up/down levels; pair with [`Gauge::dec`]).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower the level by one, saturating at zero (an unmatched `dec`
+    /// is a bug upstream, but a metric must never wrap to 2^64).
+    #[inline]
+    pub fn dec(&self) {
+        // Saturating fetch_sub: CAS loop, uncontended in practice.
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self
+                .0
+                .compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +130,17 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set_max(7);
         assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn gauge_levels_saturate_at_zero() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // unmatched: must not wrap
+        assert_eq!(g.get(), 0);
     }
 }

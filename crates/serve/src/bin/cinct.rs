@@ -24,11 +24,25 @@
 //! cinct locate  trips.d    12,13,14            # global trajectory IDs
 //! ```
 
+//!
+//! Serving session — `cinct serve` exposes a sharded directory over
+//! HTTP/1.1 + JSON (see the `cinct_serve` crate docs for the protocol):
+//!
+//! ```text
+//! cinct serve trips.d --addr 127.0.0.1:8080    # blocks until drained
+//! curl -d '{"path":[12,13,14]}' localhost:8080/v1/count
+//! curl -d '{"batch":[[12,13]]}' localhost:8080/v1/append
+//! curl localhost:8080/metrics                  # Prometheus text
+//! curl -X POST localhost:8080/admin/shutdown   # graceful drain; served
+//!                                              # appends persist to trips.d
+//! ```
+
 use cinct::text_io::{format_trajectory, parse_path, parse_trajectories};
 use cinct::{
     CinctBuilder, CinctIndex, Path, PathQuery, QueryTrace, ShardPartition, ShardedBuilder,
     ShardedCinct,
 };
+use cinct_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -54,7 +68,14 @@ fn usage() -> ExitCode {
                                             --trace explains the query: per-
                                             shard, per-stage breakdown
   cinct locate <index> <path> [--trace]
-  cinct get <index> <trajectory-id>"
+  cinct get <index> <trajectory-id>
+  cinct serve <index-dir> [--addr HOST:PORT] [--workers N] [--queue N]
+              [--deadline-ms MS] [--cache N] [--fan-out N] [--max-body BYTES]
+              [--no-save]                     serve the sharded directory over
+                                            HTTP/1.1 + JSON; 0 = auto on the
+                                            thread knobs; POST /admin/shutdown
+                                            drains gracefully and (unless
+                                            --no-save) persists served appends"
     );
     ExitCode::from(2)
 }
@@ -72,6 +93,7 @@ fn main() -> ExitCode {
         ("count", n) if n >= 3 => cmd_count(&args[1], &args[2], &args[3..]),
         ("locate", n) if n >= 3 => cmd_locate(&args[1], &args[2], &args[3..]),
         ("get", 3) => cmd_get(&args[1], &args[2]),
+        ("serve", n) if n >= 2 => cmd_serve(&args[1], &args[2..]),
         _ => return usage(),
     };
     match result {
@@ -462,5 +484,99 @@ fn cmd_get(path: &str, id_spec: &str) -> Result<(), String> {
         ));
     }
     println!("{}", format_trajectory(&backend.trajectory(id)));
+    Ok(())
+}
+
+fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut addr = String::from("127.0.0.1:8080");
+    let mut save_on_drain = true;
+    let mut i = 0;
+    let parse_usize = |flags: &[String], i: usize, what: &str| -> Result<usize, String> {
+        flags
+            .get(i + 1)
+            .ok_or(format!("{what} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad {what} value"))
+    };
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--addr" => {
+                addr = flags.get(i + 1).ok_or("--addr needs host:port")?.clone();
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = parse_usize(flags, i, "--workers")?;
+                i += 2;
+            }
+            "--queue" => {
+                cfg.queue_depth = parse_usize(flags, i, "--queue")?;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                cfg.deadline = std::time::Duration::from_millis(parse_usize(
+                    flags,
+                    i,
+                    "--deadline-ms",
+                )? as u64);
+                i += 2;
+            }
+            "--cache" => {
+                cfg.cache_capacity = parse_usize(flags, i, "--cache")?;
+                i += 2;
+            }
+            "--fan-out" => {
+                cfg.fan_out_threads = parse_usize(flags, i, "--fan-out")?;
+                i += 2;
+            }
+            "--max-body" => {
+                cfg.max_body_bytes = parse_usize(flags, i, "--max-body")?;
+                i += 2;
+            }
+            "--no-save" => {
+                save_on_drain = false;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let sharded = load_sharded(index_dir)?;
+    let server =
+        Server::bind(addr.as_str(), sharded, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let handle = server.handle();
+    let rc = handle.config();
+    eprintln!(
+        "serving {index_dir} on http://{} — {} workers x {} fan-out threads \
+         (host parallelism {}), queue {}, deadline {:?}, cache {} entries",
+        handle.addr(),
+        rc.workers,
+        rc.fan_out_threads,
+        rc.host_parallelism,
+        rc.queue_depth,
+        rc.deadline,
+        rc.cache_capacity,
+    );
+    eprintln!(
+        "endpoints: POST /v1/count /v1/locate /v1/occurrences /v1/extract /v1/append; \
+         GET /v1/stats /metrics /healthz; POST /admin/shutdown"
+    );
+    server.run().map_err(|e| e.to_string())?;
+    let appends = handle.service().epoch();
+    if save_on_drain && appends > 0 {
+        handle
+            .service()
+            .save_dir(std::path::Path::new(index_dir))
+            .map_err(|e| format!("persist {index_dir}: {e}"))?;
+        eprintln!("drained; persisted {appends} served append batch(es) back to {index_dir}");
+    } else {
+        eprintln!(
+            "drained cleanly ({appends} served append batch(es){})",
+            if appends > 0 {
+                ", not persisted (--no-save)"
+            } else {
+                ""
+            }
+        );
+    }
     Ok(())
 }

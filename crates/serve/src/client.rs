@@ -1,0 +1,127 @@
+//! A minimal blocking HTTP/1.1 client for the serve protocol: one
+//! persistent keep-alive connection, `Content-Length` bodies only —
+//! the exact subset the server speaks. Shared by the integration
+//! tests, the `servepath` bench, the CI smoke client, and examples.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A persistent connection to a serve endpoint.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect (with a 5s connect/read timeout).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issue `GET target`; returns `(status, body)`.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
+        self.request("GET", target, None)
+    }
+
+    /// Issue `POST target` with a JSON string body.
+    pub fn post(&mut self, target: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", target, Some(body))
+    }
+
+    /// `POST` a [`Json`] body, parse the JSON response.
+    pub fn post_json(&mut self, target: &str, body: &Json) -> io::Result<(u16, Json)> {
+        let (status, text) = self.post(target, &body.render())?;
+        let parsed = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {text}")))?;
+        Ok((status, parsed))
+    }
+
+    /// One request/response cycle on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        {
+            let stream = self.reader.get_mut();
+            match body {
+                Some(b) => write!(
+                    stream,
+                    "{method} {target} HTTP/1.1\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\n\r\n{b}",
+                    b.len()
+                )?,
+                None => write!(stream, "{method} {target} HTTP/1.1\r\n\r\n")?,
+            }
+            stream.flush()?;
+        }
+        self.read_response()
+    }
+
+    /// Send raw bytes down the connection (tests exercising truncated
+    /// or malformed requests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(bytes)?;
+        stream.flush()
+    }
+
+    /// Read one response off the connection.
+    pub fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ));
+            }
+            let header = header.trim_end_matches(['\r', '\n']);
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+}

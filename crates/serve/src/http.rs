@@ -1,0 +1,600 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what a JSON query protocol
+//! needs, and nothing the container would need a registry for.
+//!
+//! Supported: request line + headers with RFC 7230 obs-fold continuation
+//! lines, `Content-Length`-delimited bodies, keep-alive and pipelining
+//! (requests are read back-to-back off one [`BufRead`]), HTTP/1.0 and
+//! 1.1 `Connection` semantics. Deliberately unsupported, as typed
+//! errors rather than silent misbehavior: `Transfer-Encoding: chunked`
+//! (501), heads over [`Limits::max_head_bytes`] (431), bodies over
+//! [`Limits::max_body_bytes`] (413), truncated messages (400).
+//!
+//! Timeouts are cooperative: the caller arms a socket read timeout (the
+//! server's idle tick) and [`read_request`] translates a timeout with
+//! **no bytes buffered** into [`NextRequest::Idle`] — the worker's cue to
+//! check the drain flag and come back — while a timeout **mid-request**
+//! is a dead client ([`HttpError::Timeout`], 408).
+
+use std::io::{self, BufRead, Write};
+
+use crate::json::{obj, Json};
+
+/// Parser limits; defaults come from [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Cap on the request line + headers, in raw bytes (431 beyond).
+    pub max_head_bytes: usize,
+    /// Cap on `Content-Length` (413 beyond).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A parsed request. Header names are lowercased at parse time; values
+/// keep their bytes (leading/trailing whitespace trimmed, obs-fold
+/// continuations joined with a single space).
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, verbatim (methods are case-sensitive).
+    pub method: String,
+    /// Request target, e.g. `/v1/count`.
+    pub target: String,
+    /// Parsed headers, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-delimited body (empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response,
+    /// from the HTTP version + `Connection` header.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of one [`read_request`] call on a keep-alive connection.
+#[derive(Debug)]
+pub enum NextRequest {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The idle tick elapsed with no bytes received; no request has
+    /// started. Check for drain and call again.
+    Idle,
+    /// A complete request.
+    Request(Request),
+}
+
+/// Typed protocol errors; each maps to a status via [`HttpError::status`]
+/// and to the wire via [`HttpError::into_response`].
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed or truncated message (400).
+    BadRequest(String),
+    /// The peer stalled mid-request for a full idle tick (408).
+    Timeout,
+    /// Declared body exceeds [`Limits::max_body_bytes`] (413).
+    PayloadTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+    /// Head exceeds [`Limits::max_head_bytes`] (431).
+    HeaderTooLarge,
+    /// A feature this parser deliberately omits (501).
+    NotImplemented(&'static str),
+    /// Transport-level failure; the connection is torn down without a
+    /// response.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status this error responds with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::Timeout => 408,
+            HttpError::PayloadTooLarge { .. } => 413,
+            HttpError::HeaderTooLarge => 431,
+            HttpError::NotImplemented(_) => 501,
+            HttpError::Io(_) => 500,
+        }
+    }
+
+    /// Stable machine-readable discriminant for error bodies and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(_) => "bad_request",
+            HttpError::Timeout => "request_timeout",
+            HttpError::PayloadTooLarge { .. } => "payload_too_large",
+            HttpError::HeaderTooLarge => "headers_too_large",
+            HttpError::NotImplemented(_) => "not_implemented",
+            HttpError::Io(_) => "io",
+        }
+    }
+
+    /// Render as a closing JSON error response.
+    pub fn into_response(self) -> Response {
+        let message = match &self {
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::Timeout => "peer stalled mid-request".into(),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                format!("declared body of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            HttpError::HeaderTooLarge => "request head exceeds the configured cap".into(),
+            HttpError::NotImplemented(what) => format!("{what} is not supported"),
+            HttpError::Io(e) => e.to_string(),
+        };
+        let mut resp = Response::error(self.status(), self.kind(), &message);
+        resp.keep_alive = false; // parse state is unknowable; always close
+        resp
+    }
+}
+
+/// A response ready for [`Response::write_to`].
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether to keep the connection open (the worker ANDs this with
+    /// the request's wish and the drain flag).
+    pub keep_alive: bool,
+    /// Emit a `Retry-After` header (load-shed and deadline responses).
+    pub retry_after_secs: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.render().into_bytes(),
+            keep_alive: true,
+            retry_after_secs: None,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+            retry_after_secs: None,
+        }
+    }
+
+    /// The protocol's uniform error body:
+    /// `{"error":{"kind":…,"message":…,"status":…}}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Response {
+        let body = obj(&[(
+            "error",
+            obj(&[
+                ("kind", kind.into()),
+                ("message", message.into()),
+                ("status", usize::from(status).into()),
+            ]),
+        )]);
+        Response::json(status, &body)
+    }
+
+    /// Serialize onto the wire. `keep_alive` here is the final decision
+    /// (already ANDed with drain state by the caller).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.keep_alive {
+                "keep-alive"
+            } else {
+                "close"
+            },
+        )?;
+        if let Some(secs) = self.retry_after_secs {
+            write!(w, "Retry-After: {secs}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn trim_ascii(s: &str) -> &str {
+    s.trim_matches(|c| c == ' ' || c == '\t')
+}
+
+/// Read one request off a (possibly pipelined) connection. See the
+/// module docs for the timeout contract; `Ok(NextRequest::Idle)` only
+/// occurs when the underlying reader has a read timeout armed.
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<NextRequest, HttpError> {
+    // -- head: raw bytes up to and including the blank line ------------
+    let mut head: Vec<u8> = Vec::new();
+    let mut line_start = 0usize;
+    let mut started = false; // a non-blank line has been seen
+    loop {
+        match r.read_until(b'\n', &mut head) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Ok(NextRequest::Closed)
+                } else {
+                    Err(HttpError::BadRequest("truncated request head".into()))
+                };
+            }
+            Ok(_) => {
+                if head.len() > limits.max_head_bytes {
+                    return Err(HttpError::HeaderTooLarge);
+                }
+                if head.last() != Some(&b'\n') {
+                    // EOF mid-line.
+                    return Err(HttpError::BadRequest("truncated request head".into()));
+                }
+                let line = trim_crlf(&head[line_start..]);
+                if line.is_empty() {
+                    if started {
+                        break; // end of head
+                    }
+                    // Tolerate stray CRLFs between pipelined requests
+                    // (RFC 7230 §3.5); restart the head.
+                    head.clear();
+                    line_start = 0;
+                    continue;
+                }
+                started = true;
+                line_start = head.len();
+            }
+            Err(e) if is_timeout(&e) => {
+                return if head.is_empty() {
+                    Ok(NextRequest::Idle)
+                } else {
+                    Err(HttpError::Timeout)
+                };
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+
+    // -- split into logical lines, folding obs-fold continuations ------
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".into()))?;
+    let mut lines: Vec<String> = Vec::new();
+    for raw in head_text.split('\n') {
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            // obs-fold: continuation of the previous header's value.
+            let prev = lines
+                .last_mut()
+                .ok_or_else(|| HttpError::BadRequest("continuation before any header".into()))?;
+            prev.push(' ');
+            prev.push_str(trim_ascii(line));
+        } else {
+            lines.push(line.to_string());
+        }
+    }
+
+    // -- request line --------------------------------------------------
+    let mut parts = lines[0].split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no HTTP version".into()))?;
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line".into()));
+    }
+
+    // -- headers -------------------------------------------------------
+    let mut headers = Vec::with_capacity(lines.len().saturating_sub(1));
+    for line in &lines[1..] {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header without ':': {line:?}")))?;
+        let name = trim_ascii(name);
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), trim_ascii(value).to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::NotImplemented("transfer-encoding"));
+    }
+
+    // -- body ----------------------------------------------------------
+    let content_length = match header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("unparseable content-length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: limits.max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => HttpError::BadRequest(format!(
+                "truncated body: connection closed before {content_length} bytes arrived"
+            )),
+            _ if is_timeout(&e) => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        })?;
+    }
+
+    // -- connection semantics -----------------------------------------
+    let conn = header("connection").map(|v| v.to_ascii_lowercase());
+    let keep_alive = match conn.as_deref() {
+        Some(v) if v.split(',').any(|t| trim_ascii(t) == "close") => false,
+        Some(v) if v.split(',').any(|t| trim_ascii(t) == "keep-alive") => true,
+        _ => http11, // 1.1 defaults open, 1.0 defaults closed
+    };
+
+    Ok(NextRequest::Request(Request {
+        method,
+        target,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+fn trim_crlf(line: &[u8]) -> &[u8] {
+    let line = line.strip_suffix(b"\n").unwrap_or(line);
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req(text: &str) -> Result<NextRequest, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes()), &Limits::default())
+    }
+
+    fn must(text: &str) -> Request {
+        match req(text) {
+            Ok(NextRequest::Request(r)) => r,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            must("POST /v1/count HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n{\"path\":[0]}");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.target, "/v1/count");
+        assert_eq!(r.body, b"{\"path\":[0]}");
+        assert!(r.keep_alive);
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn folds_continuation_lines() {
+        let r = must("GET /healthz HTTP/1.1\r\nX-Note: first\r\n  folded   tail\r\n\tmore\r\n\r\n");
+        assert_eq!(r.header("x-note"), Some("first folded   tail more"));
+    }
+
+    #[test]
+    fn folding_before_any_header_is_rejected() {
+        // A continuation line directly after the request line has no
+        // header to extend.
+        let e = req("GET / HTTP/1.1\r\n  orphan fold\r\n\r\n").unwrap_err();
+        assert_eq!(e.status(), 400);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let two = "POST /v1/count HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}\
+                   GET /healthz HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(two.as_bytes());
+        let limits = Limits::default();
+        let a = match read_request(&mut cur, &limits).unwrap() {
+            NextRequest::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a.target, "/v1/count");
+        assert_eq!(a.body, b"{}");
+        let b = match read_request(&mut cur, &limits).unwrap() {
+            NextRequest::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(b.target, "/healthz");
+        assert!(b.body.is_empty());
+        assert!(matches!(
+            read_request(&mut cur, &limits).unwrap(),
+            NextRequest::Closed
+        ));
+    }
+
+    #[test]
+    fn stray_crlf_between_pipelined_requests_is_tolerated() {
+        let r = must("\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(r.target, "/healthz");
+    }
+
+    #[test]
+    fn clean_close_is_not_an_error() {
+        assert!(matches!(req("").unwrap(), NextRequest::Closed));
+    }
+
+    #[test]
+    fn truncated_head_is_400() {
+        for text in ["GET / HTT", "GET / HTTP/1.1\r\nHost: x\r\n"] {
+            let e = req(text).unwrap_err();
+            assert_eq!(e.status(), 400, "{text:?}");
+            assert_eq!(e.kind(), "bad_request");
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let e = req("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(e.status(), 400);
+        let HttpError::BadRequest(msg) = e else {
+            panic!("wrong variant")
+        };
+        assert!(msg.contains("truncated body"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_reading_it() {
+        let limits = Limits {
+            max_body_bytes: 10,
+            ..Limits::default()
+        };
+        // Note: no body bytes follow — the length check must fire on the
+        // declaration alone.
+        let mut cur = Cursor::new(&b"POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n"[..]);
+        let e = read_request(&mut cur, &limits).unwrap_err();
+        assert_eq!(e.status(), 413);
+        assert_eq!(e.kind(), "payload_too_large");
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let big = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(100));
+        let e = read_request(&mut Cursor::new(big.as_bytes()), &limits).unwrap_err();
+        assert_eq!(e.status(), 431);
+    }
+
+    #[test]
+    fn chunked_encoding_is_501() {
+        let e = req("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(e.status(), 501);
+        assert_eq!(e.kind(), "not_implemented");
+    }
+
+    #[test]
+    fn bad_request_lines_are_400() {
+        for text in [
+            "GET /\r\n\r\n",                                  // no version
+            "GET / SPDY/3\r\n\r\n",                           // unknown protocol
+            "GET / HTTP/1.1 extra\r\n\r\n",                   // trailing token
+            "GET / HTTP/1.1\r\nNo-Colon-Here\r\n\r\n",        // malformed header
+            "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",          // space in name
+            "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", // bad length
+        ] {
+            assert_eq!(req(text).unwrap_err().status(), 400, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        assert!(!must("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(must("GET / HTTP/1.1\r\n\r\n").keep_alive);
+        assert!(!must("GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(must("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+        assert!(!must("GET / HTTP/1.1\r\nConnection: x, close\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        let mut resp = Response::text(200, "ok\n");
+        resp.keep_alive = false;
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn error_response_body_shape() {
+        let resp = HttpError::PayloadTooLarge {
+            declared: 99,
+            limit: 10,
+        }
+        .into_response();
+        assert_eq!(resp.status, 413);
+        assert!(!resp.keep_alive);
+        let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = body.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("payload_too_large"));
+        assert_eq!(err.get("status").unwrap().as_usize(), Some(413));
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! `cinct_serve` — a concurrent query-serving subsystem over the
+//! sharded CiNCT corpus.
+//!
+//! This crate turns an in-process [`cinct::ShardedCinct`] into a
+//! network service: a dependency-free HTTP/1.1 + JSON server with a
+//! thread-per-core worker pool, a bounded accept queue that sheds load
+//! with explicit `429`s, per-request deadlines, an epoch-stamped
+//! hot-pattern result cache that can never serve a stale answer across
+//! appends, and graceful drain. Every stage reports into the shared
+//! [`cinct_obs`] registry, exposed at `/metrics` in Prometheus text
+//! format.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cinct::ShardedBuilder;
+//! use cinct_serve::{Server, ServeConfig};
+//!
+//! let corpus = ShardedBuilder::new()
+//!     .shards(2)
+//!     .locate_sampling(4)
+//!     .build(&[vec![0, 1, 4], vec![0, 1, 2], vec![1, 2]], 6);
+//!
+//! // Bind on an ephemeral port; thread budget resolves once, here.
+//! let server = Server::bind("127.0.0.1:0", corpus, ServeConfig::default()).unwrap();
+//! let handle = server.handle();
+//! let addr = handle.addr();
+//!
+//! // `run` blocks the calling thread (it becomes the accept loop).
+//! let srv = std::thread::spawn(move || server.run().unwrap());
+//!
+//! // ... speak HTTP to `addr`:
+//! //   POST /v1/count        {"path":[0,1]}          → {"count":2,...}
+//! //   POST /v1/count        {"paths":[[0,1],[1,2]]} → {"counts":[2,2],...}
+//! //   POST /v1/locate       {"path":[1,2]}          → {"total":2,"occurrences":[[1,1],[2,0]],...}
+//! //   POST /v1/append       {"batch":[[1,2,4]]}     → {"assigned":{"start":3,"end":4},...}
+//! //   POST /v1/extract      {"trajectory":0}        → {"symbols":[0,1,4],...}
+//! //   GET  /v1/stats, GET /metrics, GET /healthz
+//!
+//! // Graceful drain: in-flight requests finish, new connects refuse,
+//! // run() returns.
+//! handle.shutdown();
+//! srv.join().unwrap();
+//! ```
+//!
+//! The `cinct serve <dir>` CLI verb (this crate's `cinct` binary) wraps
+//! exactly this: it opens a sharded corpus directory, serves it, and on
+//! graceful shutdown persists the corpus back if any appends were
+//! installed.
+//!
+//! # Architecture
+//!
+//! | module | role |
+//! |---|---|
+//! | [`service`] | [`service::CorpusService`]: corpus behind a `RwLock`, cache + epoch discipline — transport-free, directly testable |
+//! | [`server`]  | accept loop, bounded queue + shedding, workers, keep-alive, deadlines, drain |
+//! | [`cache`]   | sharded LRU keyed by `(op, path)`, epoch-stamped against appends |
+//! | [`http`]    | hand-rolled HTTP/1.1 subset: obs-fold headers, pipelining, typed 4xx errors |
+//! | [`json`]    | minimal JSON parser/renderer for the wire protocol |
+//! | [`client`]  | blocking keep-alive client for tests, benches, smoke checks |
+//! | [`metrics`] | the `cinct_serve_*` metric catalog |
+//!
+//! The load-bearing invariant, proven by tests at each layer: **a
+//! served answer is outcome-identical to a direct [`cinct::PathQuery`]
+//! call against the same corpus state**, across the whole
+//! fresh → append → query lifecycle, including under concurrent
+//! appends. The cache cannot break this because every entry is stamped
+//! with the corpus epoch, the epoch only advances inside the corpus
+//! write lock, and mismatched entries are evicted on sight.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheOp, CachedValue, QueryCache};
+pub use client::Client;
+pub use server::{ResolvedConfig, ServeConfig, Server, ServerHandle};
+pub use service::{AppendOutcome, CorpusService, ServiceStats};

@@ -1,0 +1,143 @@
+//! The serving layer's metric catalog, following the workspace idiom
+//! (`cinct::metrics`): handle structs resolved once per process into
+//! [`cinct_obs::global()`], so `/metrics` on the server and `cinct stats
+//! --metrics` on the CLI expose one coherent view spanning index, shard,
+//! and serving layers.
+//!
+//! Names follow the Prometheus convention already used by the core
+//! catalog: `_total` counters, `_ns` nanosecond histograms, bare names
+//! for gauges; everything here is prefixed `cinct_serve_`.
+
+use cinct_obs::{Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Serving metrics: one handle per instrumentation point in the accept
+/// loop, worker pool, cache, and append path.
+pub struct ServeMetrics {
+    /// Connections accepted and handed to a worker.
+    pub connections: Arc<Counter>,
+    /// Connections refused with 429 because the accept queue was full.
+    pub shed: Arc<Counter>,
+    /// Requests fully parsed and dispatched.
+    pub requests: Arc<Counter>,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: Arc<Counter>,
+    /// Requests rejected because the per-request deadline had passed.
+    pub deadline_exceeded: Arc<Counter>,
+    /// Append batches installed through the serving layer.
+    pub appends: Arc<Counter>,
+    /// Hot-pattern cache hits.
+    pub cache_hits: Arc<Counter>,
+    /// Hot-pattern cache misses (no entry).
+    pub cache_misses: Arc<Counter>,
+    /// Cache entries found stale (pre-append epoch) and evicted.
+    pub cache_stale: Arc<Counter>,
+    /// Cache entries evicted by LRU pressure.
+    pub cache_evictions: Arc<Counter>,
+    /// End-to-end request latency, parse to serialized response (ns).
+    pub request_ns: Arc<Histogram>,
+    /// Append-request latency, including index construction (ns).
+    pub append_ns: Arc<Histogram>,
+    /// Requests currently executing in workers.
+    pub inflight: Arc<Gauge>,
+    /// Current corpus epoch (appends since the server started).
+    pub epoch: Arc<Gauge>,
+    /// 1 while the server is draining, else 0.
+    pub draining: Arc<Gauge>,
+    /// Worker threads in the pool.
+    pub workers: Arc<Gauge>,
+    /// Per-query fan-out threads the corpus was pinned to at start.
+    pub fan_out_threads: Arc<Gauge>,
+}
+
+/// Serving metric handles (resolved once, then lock-free).
+pub fn serve() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = cinct_obs::global();
+        ServeMetrics {
+            connections: r.counter(
+                "cinct_serve_connections_total",
+                "Connections accepted and handed to a worker",
+            ),
+            shed: r.counter(
+                "cinct_serve_shed_total",
+                "Connections refused with 429 under accept-queue overload",
+            ),
+            requests: r.counter(
+                "cinct_serve_requests_total",
+                "Requests fully parsed and dispatched",
+            ),
+            errors: r.counter(
+                "cinct_serve_errors_total",
+                "Requests answered with a 4xx/5xx status",
+            ),
+            deadline_exceeded: r.counter(
+                "cinct_serve_deadline_exceeded_total",
+                "Requests rejected past their per-request deadline",
+            ),
+            appends: r.counter(
+                "cinct_serve_appends_total",
+                "Append batches installed through the serving layer",
+            ),
+            cache_hits: r.counter("cinct_serve_cache_hits_total", "Hot-pattern cache hits"),
+            cache_misses: r.counter("cinct_serve_cache_misses_total", "Hot-pattern cache misses"),
+            cache_stale: r.counter(
+                "cinct_serve_cache_stale_total",
+                "Cache entries found stale after an append and evicted",
+            ),
+            cache_evictions: r.counter(
+                "cinct_serve_cache_evictions_total",
+                "Cache entries evicted by LRU pressure",
+            ),
+            request_ns: r.histogram("cinct_serve_request_ns", "End-to-end request latency (ns)"),
+            append_ns: r.histogram(
+                "cinct_serve_append_ns",
+                "Append-request latency including index construction (ns)",
+            ),
+            inflight: r.gauge(
+                "cinct_serve_inflight",
+                "Requests currently executing in workers",
+            ),
+            epoch: r.gauge(
+                "cinct_serve_epoch",
+                "Corpus epoch: appends installed since server start",
+            ),
+            draining: r.gauge("cinct_serve_draining", "1 while draining, else 0"),
+            workers: r.gauge("cinct_serve_workers", "Worker threads in the pool"),
+            fan_out_threads: r.gauge(
+                "cinct_serve_fan_out_threads",
+                "Per-query shard fan-out threads pinned at server start",
+            ),
+        }
+    })
+}
+
+/// Resolve the full workspace catalog — core engine/shard/store/build
+/// handles plus the serving handles above — so `/metrics` exposes idle
+/// metrics as zeros instead of omitting them.
+pub fn register_all() {
+    cinct::metrics::register_all();
+    let _ = serve();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_registers_and_samples() {
+        register_all();
+        let before = serve().requests.get();
+        serve().requests.inc();
+        assert_eq!(serve().requests.get(), before + 1);
+        serve().inflight.inc();
+        serve().inflight.dec();
+        assert_eq!(serve().inflight.get(), 0);
+        let text = cinct_obs::global().render_prometheus();
+        assert!(text.contains("cinct_serve_requests_total"), "{text}");
+        assert!(text.contains("cinct_serve_cache_hits_total"));
+        // Core catalog rides along.
+        assert!(text.contains("cinct_queries_total"));
+    }
+}

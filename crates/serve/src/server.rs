@@ -1,0 +1,849 @@
+//! The TCP front end: bounded accept queue, thread-per-core workers,
+//! keep-alive connection loops, load shedding, deadlines, graceful
+//! drain.
+//!
+//! # Threading model
+//!
+//! One accept thread (the caller of [`Server::run`]) pushes accepted
+//! connections into a **bounded** [`mpsc::sync_channel`]; `workers`
+//! scoped threads pull from it and own one connection at a time through
+//! its keep-alive lifetime. When the queue is full the accept thread
+//! does not block — the connection is **shed** with a `429` +
+//! `Retry-After` so overload degrades into fast, explicit refusals
+//! instead of unbounded queueing.
+//!
+//! Thread budget is resolved **once at bind time**, not per request:
+//! `workers × fan_out_threads ≤ max(host_parallelism, workers)` by
+//! construction ([`ServeConfig::resolve`]), and the corpus is pinned to
+//! the resolved fan-out before the first query, so concurrent requests
+//! cannot oversubscribe the host no matter what the knobs say.
+//!
+//! # Drain
+//!
+//! [`ServerHandle::shutdown`] (or `POST /admin/shutdown`) flips the
+//! drain flag and nudges the accept loop awake with a loopback connect.
+//! The accept thread closes the listener immediately — new connects are
+//! refused — while workers finish every request already read or
+//! buffered, answer with `Connection: close`, and exit. [`Server::run`]
+//! returns only after the last worker has.
+//!
+//! # Deadlines
+//!
+//! Per-request deadlines are checked before query execution and between
+//! batch items (a `503 deadline_exceeded` with `Retry-After`), and a
+//! peer that stalls mid-request for a full idle tick is dropped with
+//! `408`. A deadline cannot interrupt a single backward search already
+//! in progress — searches are microseconds, orders of magnitude below
+//! any sane deadline, so cooperative checks are the whole mechanism.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use std::{io, thread};
+
+use cinct::{QueryError, ShardedCinct};
+
+use crate::http::{self, Limits, NextRequest, Request, Response};
+use crate::json::{self, obj, obj_move, Json};
+use crate::metrics;
+use crate::service::CorpusService;
+
+/// How long an idle keep-alive connection blocks in a read before the
+/// worker re-checks the drain flag; also the stall budget for a peer
+/// that paused mid-request. Bounds drain latency for idle connections.
+const IDLE_TICK: Duration = Duration::from_millis(500);
+
+/// Deadline re-check stride inside batched requests.
+const BATCH_DEADLINE_STRIDE: usize = 32;
+
+/// Server knobs. `0` means "auto" on every thread-shaped knob, the
+/// workspace-wide convention.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (0 = one per host hardware thread).
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before new ones
+    /// are shed with 429.
+    pub queue_depth: usize,
+    /// Per-request execution deadline.
+    pub deadline: Duration,
+    /// Hot-pattern cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache lock shards.
+    pub cache_shards: usize,
+    /// Request body cap in bytes (413 beyond).
+    pub max_body_bytes: usize,
+    /// Per-query shard fan-out threads (0 = split the host budget
+    /// evenly across workers). Clamped so workers × fan-out never
+    /// oversubscribes the host.
+    pub fan_out_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 128,
+            deadline: Duration::from_secs(2),
+            cache_capacity: 4096,
+            cache_shards: 8,
+            max_body_bytes: 1 << 20,
+            fan_out_threads: 0,
+        }
+    }
+}
+
+/// The knobs after resolution — fixed for the server's lifetime.
+#[derive(Debug, Clone)]
+pub struct ResolvedConfig {
+    /// Worker threads in the pool (≥ 1).
+    pub workers: usize,
+    /// Per-query shard fan-out threads the corpus is pinned to (≥ 1).
+    pub fan_out_threads: usize,
+    /// Host hardware threads observed at resolution.
+    pub host_parallelism: usize,
+    /// Accept-queue depth.
+    pub queue_depth: usize,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Cache entries.
+    pub cache_capacity: usize,
+    /// Cache lock shards.
+    pub cache_shards: usize,
+    /// HTTP parser limits.
+    pub limits: Limits,
+}
+
+impl ServeConfig {
+    /// Resolve every thread knob **once**, enforcing the
+    /// no-oversubscription invariant
+    /// `workers × fan_out_threads ≤ max(host_parallelism, workers)`.
+    ///
+    /// Auto fan-out divides the host budget evenly across workers; an
+    /// explicit fan-out is clamped into the same budget. (With more
+    /// workers than hardware threads the budget is one fan-out thread
+    /// each — the workers themselves already oversubscribe, which is a
+    /// legitimate choice for latency-hiding, but queries must not
+    /// multiply it.)
+    pub fn resolve(&self) -> ResolvedConfig {
+        let host = rayon::current_num_threads();
+        let workers = rayon::resolve_threads(self.workers).max(1);
+        let budget = (host / workers).max(1);
+        let fan_out = if self.fan_out_threads == 0 {
+            budget
+        } else {
+            self.fan_out_threads.min(budget)
+        };
+        debug_assert!(workers * fan_out <= host.max(workers));
+        ResolvedConfig {
+            workers,
+            fan_out_threads: fan_out,
+            host_parallelism: host,
+            queue_depth: self.queue_depth.max(1),
+            deadline: self.deadline,
+            cache_capacity: self.cache_capacity,
+            cache_shards: self.cache_shards.max(1),
+            limits: Limits {
+                max_body_bytes: self.max_body_bytes,
+                ..Limits::default()
+            },
+        }
+    }
+}
+
+struct ServerState {
+    service: CorpusService,
+    cfg: ResolvedConfig,
+    addr: SocketAddr,
+    draining: AtomicBool,
+}
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Flip the drain flag and wake the accept loop (idempotent).
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::AcqRel) {
+            metrics::serve().draining.set(1);
+            // Nudge the accept thread out of its blocking accept; the
+            // dummy connection is closed immediately on either end.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server. [`Server::run`] consumes it and
+/// blocks until drained; clone a [`ServerHandle`] first for shutdown
+/// and introspection from other threads.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A cheap cloneable handle onto a running (or bound) server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Begin graceful drain: refuse new connections, finish in-flight
+    /// requests, make [`Server::run`] return. Idempotent, non-blocking.
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Whether drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining()
+    }
+
+    /// The resolved (post-`resolve`) configuration.
+    pub fn config(&self) -> &ResolvedConfig {
+        &self.state.cfg
+    }
+
+    /// The underlying service — the seam identity tests and the CLI's
+    /// save-on-drain use to reach the live corpus.
+    pub fn service(&self) -> &CorpusService {
+        &self.state.service
+    }
+}
+
+impl Server {
+    /// Bind a listener and assemble the serving state. Resolves the
+    /// thread budget once and pins the corpus fan-out to it before any
+    /// query can run.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        mut corpus: ShardedCinct,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let resolved = cfg.resolve();
+        corpus.set_fan_out_threads(resolved.fan_out_threads);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        metrics::register_all();
+        let m = metrics::serve();
+        m.workers.set(resolved.workers as u64);
+        m.fan_out_threads.set(resolved.fan_out_threads as u64);
+        m.draining.set(0);
+        let service = CorpusService::new(corpus, resolved.cache_capacity, resolved.cache_shards);
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                service,
+                cfg: resolved,
+                addr,
+                draining: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A handle for shutdown/introspection from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serve until drained: accept, queue, shed, dispatch. Blocks the
+    /// calling thread (it becomes the accept loop). Returns after
+    /// [`ServerHandle::shutdown`] once every worker has finished its
+    /// in-flight work.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, state } = self;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(state.cfg.queue_depth);
+        let rx = Mutex::new(rx);
+        thread::scope(|s| {
+            let state_ref = &*state;
+            let rx_ref = &rx;
+            for _ in 0..state.cfg.workers {
+                s.spawn(move || worker_loop(state_ref, rx_ref));
+            }
+            for conn in listener.incoming() {
+                if state.draining() {
+                    break;
+                }
+                match conn {
+                    Ok(c) => match tx.try_send(c) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(c)) => shed(c),
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                    // Transient accept failure (e.g. fd pressure):
+                    // back off instead of spinning.
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // Refuse new connections *now*; workers drain what was
+            // already accepted, then see the channel close and exit.
+            drop(listener);
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+/// Refuse an over-queue connection with an explicit 429.
+fn shed(conn: TcpStream) {
+    metrics::serve().shed.inc();
+    let mut resp = Response::error(429, "overloaded", "accept queue full; retry after backoff");
+    resp.keep_alive = false;
+    resp.retry_after_secs = Some(1);
+    let mut conn = conn;
+    let _ = resp.write_to(&mut conn);
+}
+
+fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(conn) = conn else { return }; // channel closed: drain done
+        metrics::serve().connections.inc();
+        let _ = handle_connection(state, conn);
+    }
+}
+
+fn handle_connection(state: &ServerState, conn: TcpStream) -> io::Result<()> {
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(IDLE_TICK)).ok();
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    loop {
+        match http::read_request(&mut reader, &state.cfg.limits) {
+            Ok(NextRequest::Closed) => return Ok(()),
+            Ok(NextRequest::Idle) => {
+                if state.draining() {
+                    return Ok(()); // idle connection; nothing in flight
+                }
+            }
+            Ok(NextRequest::Request(req)) => {
+                let m = metrics::serve();
+                m.requests.inc();
+                m.inflight.inc();
+                let started = Instant::now();
+                let mut resp = dispatch(state, &req, started);
+                m.request_ns
+                    .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                m.inflight.dec();
+                if resp.status >= 400 {
+                    m.errors.inc();
+                }
+                // Drain overrides keep-alive: the response completes
+                // (in-flight work finishes) but the connection closes.
+                resp.keep_alive = resp.keep_alive && req.keep_alive && !state.draining();
+                let keep = resp.keep_alive;
+                resp.write_to(&mut writer)?;
+                if !keep {
+                    return Ok(());
+                }
+            }
+            Err(http::HttpError::Io(e)) => return Err(e),
+            Err(e) => {
+                metrics::serve().errors.inc();
+                let _ = e.into_response().write_to(&mut writer);
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------
+
+fn dispatch(state: &ServerState, req: &Request, started: Instant) -> Response {
+    const API: [&str; 5] = [
+        "/v1/count",
+        "/v1/locate",
+        "/v1/occurrences",
+        "/v1/extract",
+        "/v1/append",
+    ];
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            metrics::register_all();
+            Response::text(200, &cinct_obs::global().render_prometheus())
+        }
+        ("GET", "/v1/stats") => stats_response(state),
+        ("POST", "/admin/shutdown") => {
+            state.begin_drain();
+            Response::json(200, &obj(&[("draining", true.into())]))
+        }
+        ("POST", target) if API.contains(&target) => handle_api(state, target, req, started),
+        (_, target)
+            if API.contains(&target)
+                || matches!(
+                    target,
+                    "/healthz" | "/metrics" | "/v1/stats" | "/admin/shutdown"
+                ) =>
+        {
+            Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{} does not accept {}", target, req.method),
+            )
+        }
+        (_, target) => Response::error(404, "not_found", &format!("no route for {target}")),
+    }
+}
+
+fn stats_response(state: &ServerState) -> Response {
+    let s = state.service.stats();
+    let cfg = &state.cfg;
+    let body = obj(&[
+        ("kind", "sharded".into()),
+        ("shards", s.shards.into()),
+        ("trajectories", s.trajectories.into()),
+        ("indexed_symbols", s.indexed_symbols.into()),
+        ("network_edges", s.network_edges.into()),
+        ("locate_supported", s.locate_supported.into()),
+        ("index_bytes", s.index_bytes.into()),
+        ("epoch", s.epoch.into()),
+        (
+            "cache",
+            obj(&[
+                ("entries", s.cache_entries.into()),
+                ("capacity", s.cache_capacity.into()),
+            ]),
+        ),
+        ("workers", cfg.workers.into()),
+        ("fan_out_threads", s.fan_out_threads.into()),
+        ("host_parallelism", cfg.host_parallelism.into()),
+        ("draining", state.draining().into()),
+    ]);
+    Response::json(200, &body)
+}
+
+fn handle_api(state: &ServerState, target: &str, req: &Request, started: Instant) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "malformed_json", "request body is not valid UTF-8"),
+    };
+    // Query endpoints go through a strict single-scan parser for the
+    // dominant body shape; anything it can't prove identical falls back
+    // to the generic `Json` tree, which owns the error taxonomy.
+    let result = match target {
+        "/v1/count" => match parse_query(text) {
+            Err(resp) => Ok(resp),
+            Ok((spec, cache, _limit)) => match deadline_check(state, started) {
+                Some(resp) => Ok(resp),
+                None => handle_count(state, spec, cache, started),
+            },
+        },
+        "/v1/locate" | "/v1/occurrences" => match parse_query(text) {
+            Err(resp) => Ok(resp),
+            Ok((spec, cache, limit)) => match deadline_check(state, started) {
+                Some(resp) => Ok(resp),
+                None => handle_occurrences(state, spec, cache, limit, started),
+            },
+        },
+        "/v1/extract" | "/v1/append" => {
+            let body = match Json::parse(text) {
+                Ok(b) => b,
+                Err(e) => return Response::error(400, "malformed_json", &e),
+            };
+            if let Some(resp) = deadline_check(state, started) {
+                return resp;
+            }
+            if target == "/v1/extract" {
+                handle_extract(state, &body)
+            } else {
+                handle_append(state, &body)
+            }
+        }
+        _ => unreachable!("routed above"),
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => query_error_response(&e),
+    }
+}
+
+/// Parse a count/locate/occurrences body into `(paths, cache, limit)`,
+/// taking the zero-tree fast path when the body matches the dominant
+/// shape exactly and the generic parser otherwise.
+fn parse_query(text: &str) -> Result<(PathSpec, bool, Option<usize>), Response> {
+    if let Some(fq) = json::parse_fast_query(text) {
+        let spec = if let Some(p) = fq.path {
+            PathSpec::One(p)
+        } else if let Some(ps) = fq.paths {
+            PathSpec::Many(ps)
+        } else {
+            return Err(Response::error(
+                400,
+                "invalid_input",
+                "body needs a \"path\" or \"paths\" member",
+            ));
+        };
+        return Ok((spec, fq.cache.unwrap_or(true), fq.limit));
+    }
+    let body = Json::parse(text).map_err(|e| Response::error(400, "malformed_json", &e))?;
+    let spec = parse_path_spec(&body)?;
+    Ok((
+        spec,
+        use_cache(&body),
+        body.get("limit").and_then(Json::as_usize),
+    ))
+}
+
+/// `503 deadline_exceeded` once the request's execution budget is gone.
+fn deadline_check(state: &ServerState, started: Instant) -> Option<Response> {
+    if started.elapsed() < state.cfg.deadline {
+        return None;
+    }
+    metrics::serve().deadline_exceeded.inc();
+    let mut resp = Response::error(
+        503,
+        "deadline_exceeded",
+        "request exceeded the server's execution deadline",
+    );
+    resp.retry_after_secs = Some(1);
+    Some(resp)
+}
+
+/// Map the core error taxonomy onto HTTP statuses. Client faults are
+/// 4xx, index/transport faults 5xx; an *absent path* is never an error
+/// at any layer — it shows up here as a zero count or an empty list.
+fn query_error_response(e: &QueryError) -> Response {
+    let (status, kind) = match e {
+        QueryError::EmptyPattern => (400, "empty_pattern"),
+        QueryError::UnknownEdge { .. } => (400, "unknown_edge"),
+        QueryError::InvalidInput(_) => (400, "invalid_input"),
+        QueryError::LocateUnsupported => (422, "locate_unsupported"),
+        QueryError::CorruptIndex(_) => (500, "corrupt_index"),
+        QueryError::Io(_) => (500, "io"),
+        _ => (500, "internal"),
+    };
+    Response::error(status, kind, &e.to_string())
+}
+
+fn parse_path(v: &Json) -> Result<Vec<u32>, Response> {
+    let items = v.as_arr().ok_or_else(|| {
+        Response::error(400, "invalid_input", "path must be an array of edge IDs")
+    })?;
+    items
+        .iter()
+        .map(|e| {
+            e.as_usize()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| {
+                    Response::error(
+                        400,
+                        "invalid_input",
+                        "path elements must be integers in [0, 2^32)",
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Accept either `{"path": [...]}` or `{"paths": [[...], ...]}`.
+enum PathSpec {
+    One(Vec<u32>),
+    Many(Vec<Vec<u32>>),
+}
+
+fn parse_path_spec(body: &Json) -> Result<PathSpec, Response> {
+    if let Some(p) = body.get("path") {
+        return Ok(PathSpec::One(parse_path(p)?));
+    }
+    if let Some(ps) = body.get("paths") {
+        let arr = ps.as_arr().ok_or_else(|| {
+            Response::error(400, "invalid_input", "paths must be an array of paths")
+        })?;
+        return Ok(PathSpec::Many(
+            arr.iter().map(parse_path).collect::<Result<_, _>>()?,
+        ));
+    }
+    Err(Response::error(
+        400,
+        "invalid_input",
+        "body needs a \"path\" or \"paths\" member",
+    ))
+}
+
+fn use_cache(body: &Json) -> bool {
+    body.get("cache").and_then(Json::as_bool).unwrap_or(true)
+}
+
+fn elapsed_ns(started: Instant) -> Json {
+    u64::try_from(started.elapsed().as_nanos())
+        .unwrap_or(u64::MAX)
+        .into()
+}
+
+fn handle_count(
+    state: &ServerState,
+    spec: PathSpec,
+    cache: bool,
+    started: Instant,
+) -> Result<Response, QueryError> {
+    let svc = &state.service;
+    match spec {
+        PathSpec::One(path) => {
+            let (n, cached) = svc.count(&path, cache)?;
+            Ok(Response::json(
+                200,
+                &obj(&[
+                    ("count", n.into()),
+                    ("cached", cached.into()),
+                    ("epoch", svc.epoch().into()),
+                    ("elapsed_ns", elapsed_ns(started)),
+                ]),
+            ))
+        }
+        PathSpec::Many(paths) => {
+            let mut counts = Vec::with_capacity(paths.len());
+            let mut hits = 0usize;
+            // Chunked so the lock is amortized but deadlines still get
+            // their cooperative re-check between chunks.
+            for chunk in paths.chunks(BATCH_DEADLINE_STRIDE) {
+                if let Some(resp) = deadline_check(state, started) {
+                    return Ok(resp);
+                }
+                let (mut ns, h) = svc.count_batch(chunk, cache)?;
+                counts.append(&mut ns);
+                hits += h;
+            }
+            Ok(Response::json(
+                200,
+                &obj_move(vec![
+                    ("counts", counts.into()),
+                    ("cache_hits", hits.into()),
+                    ("epoch", svc.epoch().into()),
+                    ("elapsed_ns", elapsed_ns(started)),
+                ]),
+            ))
+        }
+    }
+}
+
+fn occ_json(occ: &[(usize, usize)], limit: Option<usize>) -> Json {
+    let shown = limit.unwrap_or(occ.len()).min(occ.len());
+    Json::Arr(
+        occ[..shown]
+            .iter()
+            .map(|&(t, o)| Json::Arr(vec![t.into(), o.into()]))
+            .collect(),
+    )
+}
+
+fn handle_occurrences(
+    state: &ServerState,
+    spec: PathSpec,
+    cache: bool,
+    limit: Option<usize>,
+    started: Instant,
+) -> Result<Response, QueryError> {
+    let svc = &state.service;
+    match spec {
+        PathSpec::One(path) => {
+            let (occ, cached) = svc.occurrences(&path, cache)?;
+            Ok(Response::json(
+                200,
+                &obj(&[
+                    ("total", occ.len().into()),
+                    ("occurrences", occ_json(&occ, limit)),
+                    ("cached", cached.into()),
+                    ("epoch", svc.epoch().into()),
+                    ("elapsed_ns", elapsed_ns(started)),
+                ]),
+            ))
+        }
+        PathSpec::Many(paths) => {
+            let mut results = Vec::with_capacity(paths.len());
+            let mut hits = 0usize;
+            for chunk in paths.chunks(BATCH_DEADLINE_STRIDE) {
+                if let Some(resp) = deadline_check(state, started) {
+                    return Ok(resp);
+                }
+                let (occs, h) = svc.occurrences_batch(chunk, cache)?;
+                hits += h;
+                for occ in occs {
+                    results.push(obj_move(vec![
+                        ("total", occ.len().into()),
+                        ("occurrences", occ_json(&occ, limit)),
+                    ]));
+                }
+            }
+            Ok(Response::json(
+                200,
+                &obj_move(vec![
+                    ("results", Json::Arr(results)),
+                    ("cache_hits", hits.into()),
+                    ("epoch", svc.epoch().into()),
+                    ("elapsed_ns", elapsed_ns(started)),
+                ]),
+            ))
+        }
+    }
+}
+
+fn handle_extract(state: &ServerState, body: &Json) -> Result<Response, QueryError> {
+    let svc = &state.service;
+    let symbols = if let Some(id) = body.get("trajectory") {
+        let Some(id) = id.as_usize() else {
+            return Ok(Response::error(
+                400,
+                "invalid_input",
+                "trajectory must be a non-negative integer",
+            ));
+        };
+        svc.trajectory(id)?
+    } else {
+        let (Some(row), Some(len)) = (
+            body.get("row").and_then(Json::as_usize),
+            body.get("len").and_then(Json::as_usize),
+        ) else {
+            return Ok(Response::error(
+                400,
+                "invalid_input",
+                "body needs \"trajectory\" or \"row\" + \"len\"",
+            ));
+        };
+        svc.extract(row, len)?
+    };
+    Ok(Response::json(
+        200,
+        &obj(&[("symbols", symbols.into()), ("epoch", svc.epoch().into())]),
+    ))
+}
+
+fn handle_append(state: &ServerState, body: &Json) -> Result<Response, QueryError> {
+    let Some(batch) = body.get("batch").and_then(Json::as_arr) else {
+        return Ok(Response::error(
+            400,
+            "invalid_input",
+            "body needs a \"batch\" array of trajectories",
+        ));
+    };
+    let mut trajectories = Vec::with_capacity(batch.len());
+    for t in batch {
+        match parse_path(t) {
+            Ok(path) => trajectories.push(path),
+            Err(resp) => return Ok(resp),
+        }
+    }
+    let out = state.service.append(&trajectories)?;
+    Ok(Response::json(
+        200,
+        &obj(&[
+            (
+                "assigned",
+                obj(&[
+                    ("start", out.assigned.start.into()),
+                    ("end", out.assigned.end.into()),
+                ]),
+            ),
+            ("shards", out.shards.into()),
+            ("epoch", out.epoch.into()),
+        ]),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite: the knob interplay is resolved once at bind time and
+    /// can never oversubscribe the host, whatever the knobs say.
+    #[test]
+    fn resolved_thread_budget_never_oversubscribes() {
+        let host = rayon::current_num_threads();
+        for workers in [0usize, 1, 2, 3, host, host + 3, 64] {
+            for fan_out in [0usize, 1, 2, host, 64] {
+                let r = ServeConfig {
+                    workers,
+                    fan_out_threads: fan_out,
+                    ..ServeConfig::default()
+                }
+                .resolve();
+                assert!(r.workers >= 1 && r.fan_out_threads >= 1);
+                assert!(
+                    r.workers * r.fan_out_threads <= host.max(r.workers),
+                    "workers={workers} fan_out={fan_out} resolved to {}x{} on host {host}",
+                    r.workers,
+                    r.fan_out_threads,
+                );
+                assert_eq!(r.host_parallelism, host);
+            }
+        }
+        // Auto/auto fills the host exactly when workers divide it.
+        let auto = ServeConfig::default().resolve();
+        assert_eq!(auto.workers, host);
+        assert_eq!(auto.fan_out_threads, 1);
+    }
+
+    #[test]
+    fn bind_pins_corpus_fan_out_to_resolved_budget() {
+        let corpus = cinct::ShardedBuilder::new()
+            .shards(2)
+            .build(&[vec![0u32, 1], vec![1, 0]], 2);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            corpus,
+            ServeConfig {
+                workers: 2,
+                fan_out_threads: 64, // asks for far too much
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let resolved = handle.config().fan_out_threads;
+        assert!(resolved * 2 <= rayon::current_num_threads().max(2));
+        // The corpus itself was pinned — queries use the budget without
+        // re-resolving per request.
+        let pinned = handle.service().with_corpus(|c| c.fan_out_threads());
+        assert_eq!(pinned, resolved);
+    }
+
+    #[test]
+    fn query_errors_map_to_the_documented_statuses() {
+        let cases = [
+            (QueryError::EmptyPattern, 400, "empty_pattern"),
+            (
+                QueryError::UnknownEdge {
+                    edge: 9,
+                    n_edges: 5,
+                },
+                400,
+                "unknown_edge",
+            ),
+            (QueryError::InvalidInput("x".into()), 400, "invalid_input"),
+            (QueryError::LocateUnsupported, 422, "locate_unsupported"),
+            (QueryError::CorruptIndex("x".into()), 500, "corrupt_index"),
+            (QueryError::Io("x".into()), 500, "io"),
+        ];
+        for (err, status, kind) in cases {
+            let resp = query_error_response(&err);
+            assert_eq!(resp.status, status, "{err:?}");
+            let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            assert_eq!(
+                body.get("error").unwrap().get("kind").unwrap().as_str(),
+                Some(kind)
+            );
+        }
+    }
+}

@@ -56,8 +56,15 @@ where
 
 /// Number of threads a parallel scope can usefully occupy — the machine's
 /// available parallelism (the real crate reports its global pool size).
+///
+/// Resolved **once per process** and cached: `available_parallelism` is a
+/// syscall, and callers on serving hot paths (`QueryEngine::run`, the
+/// `cinct serve` request loop) consult the knob per batch/request. The
+/// real rayon crate sizes its global pool once at startup, so caching
+/// also matches upstream semantics.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism().map_or(1, |n| n.get())
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Resolve a user-facing thread-count knob under the workspace's shared

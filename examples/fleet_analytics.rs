@@ -8,6 +8,13 @@
 //! --metrics` exposes, populated by the analytics that just ran.
 //!
 //! Run: `cargo run --release --example fleet_analytics`
+//!
+//! With `--serve`, the corridor analytics are additionally replayed
+//! through a live `cinct_serve` HTTP server over a sharded build of the
+//! same corpus — one batched `/v1/count` request, run twice to show the
+//! epoch-checked hot-pattern cache — and the serving metrics join the
+//! final snapshot. Run:
+//! `cargo run --release --example fleet_analytics -- --serve`
 
 use cinct::{CinctBuilder, DatasetStats, Query, QueryEngine, QueryValue};
 use cinct_bwt::TrajectoryString;
@@ -61,16 +68,14 @@ fn main() {
         .collect();
     let batch: Vec<Query> = corridors.iter().map(|c| Query::count(c)).collect();
     let report = engine.run(&batch);
+    let corridor_counts: Vec<usize> = report
+        .outcomes
+        .iter()
+        .map(|o| o.value.as_ref().map(QueryValue::matches).unwrap_or(0))
+        .collect();
     println!("\nCorridor usage downstream of segment {probe}:");
-    for (corridor, outcome) in corridors.iter().zip(&report.outcomes) {
-        if let Ok(v) = &outcome.value {
-            println!(
-                "  {} -> {}: {} vehicles",
-                corridor[0],
-                corridor[1],
-                v.matches()
-            );
-        }
+    for (corridor, count) in corridors.iter().zip(&corridor_counts) {
+        println!("  {} -> {}: {count} vehicles", corridor[0], corridor[1]);
     }
 
     // Popular-route discovery: the most traveled 6-edge sub-path among a
@@ -139,9 +144,73 @@ fn main() {
     }
     println!("OK");
 
+    // Optionally replay the corridor analytics over HTTP against a live
+    // serving process; its request/cache counters then show up in the
+    // snapshot below alongside the engine's.
+    if std::env::args().any(|a| a == "--serve") {
+        serve_corridors(&ds, &corridors, &corridor_counts);
+    }
+
     // Everything above was recorded by the instrumentation layer; this is
     // the snapshot `cinct stats --metrics` would serve.
     println!("\n--- metrics snapshot (Prometheus text) ---");
     cinct::metrics::register_all();
+    cinct_serve::metrics::register_all();
     print!("{}", cinct_obs::global().render_prometheus());
+}
+
+/// `--serve`: stand up a real `cinct_serve` server on a loopback
+/// ephemeral port over a sharded build of the corpus, push the corridor
+/// batch through `/v1/count` twice — cold, then cache-hot — and compare
+/// the wire answers and the server-side vs client-side clocks.
+fn serve_corridors(ds: &cinct_datasets::Dataset, corridors: &[Vec<u32>], direct: &[usize]) {
+    use cinct_serve::json::{obj, Json};
+    use cinct_serve::{Client, ServeConfig, Server};
+
+    let sharded = cinct::ShardedBuilder::new()
+        .shards(2)
+        .index_builder(cinct::CinctBuilder::new().locate_sampling(32))
+        .threads(0)
+        .build(&ds.trajectories, ds.n_edges());
+    let server = Server::bind("127.0.0.1:0", sharded, ServeConfig::default()).expect("bind");
+    let handle = server.handle();
+    let addr = handle.addr();
+    let srv = std::thread::spawn(move || server.run());
+    // The listener is live before `bind` returns; connect and go.
+    let mut client = Client::connect(addr).expect("connect to own server");
+    println!(
+        "\nServing the corpus on http://{addr} ({} workers):",
+        handle.config().workers
+    );
+
+    let body = obj(&[(
+        "paths",
+        Json::Arr(corridors.iter().map(|c| Json::from(c.clone())).collect()),
+    )]);
+    for pass in ["cold", "cache-hot"] {
+        let t0 = Instant::now();
+        let (status, resp) = client.post_json("/v1/count", &body).expect("batched count");
+        let client_us = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(status, 200, "count failed: {}", resp.render());
+        let counts: Vec<usize> = resp
+            .get("counts")
+            .and_then(Json::as_arr)
+            .expect("counts array")
+            .iter()
+            .map(|n| n.as_usize().expect("count"))
+            .collect();
+        assert_eq!(counts, direct, "served corridor counts != engine counts");
+        let server_us = resp.get("elapsed_ns").and_then(Json::as_usize).unwrap_or(0) as f64 / 1e3;
+        let hits = resp.get("cache_hits").and_then(Json::as_usize).unwrap_or(0);
+        println!(
+            "  {pass}: {} corridors in {client_us:.0} us end-to-end \
+             ({server_us:.0} us server-side, {hits} cache hits) — counts match the engine",
+            counts.len()
+        );
+    }
+
+    let (status, _) = client.post("/admin/shutdown", "{}").expect("shutdown");
+    assert_eq!(status, 200, "shutdown");
+    srv.join().expect("server thread").expect("clean drain");
+    println!("  drained cleanly");
 }
