@@ -1,0 +1,255 @@
+//! Durability cost model: what does an *acked* append cost once it is
+//! journaled + fsynced to the WAL, versus PR 7's in-memory install?
+//! Feeds `BENCH_PR8.json`.
+//!
+//! Sections:
+//!
+//! 1. **In-memory ack** — `CorpusService::append` without a WAL: the
+//!    PR 7 baseline (index construction + O(K) install, no disk).
+//! 2. **WAL ack, fsync** — `Durability::Durable`: journal + `fsync`
+//!    before the ack returns. The delta over section 1 is the price of
+//!    crash-surviving writes.
+//! 3. **WAL ack, no fsync** — `Durability::Fast`: journal to the page
+//!    cache only; isolates serialization cost from fsync cost.
+//! 4. **Snapshot** — `save_dir` durable vs fast, plus WAL replay on
+//!    reopen (records/s), asserted outcome-identical to the direct
+//!    corpus.
+//!
+//! None of the emitted fields contain `speedup`, deliberately: fsync
+//! latency is a property of the host's storage stack (CI runners span
+//! tmpfs to spinning disks), so these numbers are recorded for the
+//! cost model but never gated. Knobs: `CINCT_SCALE` (default 0.25),
+//! `CINCT_BENCH_REPS` (default 3), `CINCT_SERVE_BATCH` (default 64),
+//! `CINCT_BENCH_OUT` (default `BENCH_PR8.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cinct::{Durability, Path, PathQuery, ShardedBuilder, ShardedCinct, Wal};
+use cinct_serve::CorpusService;
+
+const SHARDS: usize = 4;
+const LOCATE_RATE: usize = 32;
+const BASE_FRACTION: f64 = 0.9;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile_us(lat: &mut [f64], q: f64) -> f64 {
+    if lat.is_empty() {
+        return 0.0;
+    }
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat[((lat.len() - 1) as f64 * q) as usize]
+}
+
+struct AckStats {
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Drive every batch through `svc.append`, timing each ack.
+fn ack_pass(svc: &CorpusService, batches: &[&[Vec<u32>]], reps: usize) -> AckStats {
+    let mut lat = Vec::with_capacity(batches.len() * reps);
+    for rep in 0..reps {
+        for (i, b) in batches.iter().enumerate() {
+            // Unique key per logical write so dedup never short-circuits
+            // the measured path.
+            let key = format!("bench-{rep}-{i}");
+            let t0 = Instant::now();
+            svc.append_keyed(b, Some(&key)).expect("append");
+            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let mean_us = lat.iter().sum::<f64>() / lat.len() as f64;
+    AckStats {
+        mean_us,
+        p50_us: percentile_us(&mut lat, 0.50),
+        p99_us: percentile_us(&mut lat, 0.99),
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("cinct-durapath-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+fn main() {
+    let scale = env_f64("CINCT_SCALE", 0.25);
+    let reps = env_usize("CINCT_BENCH_REPS", 3);
+    let batch_len = env_usize("CINCT_SERVE_BATCH", 64);
+    let out_path =
+        std::env::var("CINCT_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+
+    println!("== Durability path: acked-append + snapshot cost (scale={scale}) ==\n");
+    let ds = cinct_datasets::singapore(scale);
+    let n_edges = ds.n_edges();
+    let trajs = &ds.trajectories;
+    let base_len = ((trajs.len() as f64 * BASE_FRACTION) as usize)
+        .max(1)
+        .min(trajs.len());
+    let (base, tail) = trajs.split_at(base_len);
+    let batches: Vec<&[Vec<u32>]> = tail.chunks(batch_len.max(1)).collect();
+    assert!(!batches.is_empty(), "scale too small: no append batches");
+    println!(
+        "corpus: {} base trajectories, {} appended in {} batches of <= {batch_len}, \
+         {n_edges} edges\n",
+        base.len(),
+        tail.len(),
+        batches.len()
+    );
+    let build = || {
+        ShardedBuilder::new()
+            .shards(SHARDS)
+            .index_builder(cinct::CinctBuilder::new().locate_sampling(LOCATE_RATE))
+            .threads(0)
+            .build(base, n_edges)
+    };
+
+    // --- 1: in-memory ack (the PR 7 append path). ---
+    let svc = CorpusService::new(build(), 0, 1);
+    let mem = ack_pass(&svc, &batches, reps);
+    drop(svc);
+    println!(
+        "in-memory ack:   mean {:>8.1} us  p50 {:>8.1}  p99 {:>8.1}",
+        mem.mean_us, mem.p50_us, mem.p99_us
+    );
+
+    // --- 2: WAL ack with fsync. ---
+    let dir_fsync = scratch("fsync");
+    let (wal, replay) = Wal::open(&dir_fsync, Durability::Durable).expect("wal");
+    let svc = CorpusService::new_durable(build(), 0, 1, wal, replay).expect("durable service");
+    let fsync = ack_pass(&svc, &batches, reps);
+    drop(svc);
+    println!(
+        "WAL fsync ack:   mean {:>8.1} us  p50 {:>8.1}  p99 {:>8.1}  \
+         (+{:.1} us over in-memory)",
+        fsync.mean_us,
+        fsync.p50_us,
+        fsync.p99_us,
+        fsync.mean_us - mem.mean_us
+    );
+
+    // --- 3: WAL ack without fsync (serialization cost only). ---
+    let dir_fast = scratch("fast");
+    let (wal, replay) = Wal::open(&dir_fast, Durability::Fast).expect("wal");
+    let svc = CorpusService::new_durable(build(), 0, 1, wal, replay).expect("fast service");
+    let nosync = ack_pass(&svc, &batches, reps);
+    drop(svc);
+    println!(
+        "WAL no-fsync:    mean {:>8.1} us  p50 {:>8.1}  p99 {:>8.1}\n",
+        nosync.mean_us, nosync.p50_us, nosync.p99_us
+    );
+
+    // --- 4: snapshot durable vs fast + replay identity. ---
+    let mut direct = build();
+    for b in &batches {
+        direct.append_batch(b).expect("direct append");
+    }
+    let dir_save = scratch("save");
+    let t0 = Instant::now();
+    direct.save_dir(&dir_save).expect("durable save");
+    let save_durable_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    direct
+        .save_dir_with(&dir_save, Durability::Fast)
+        .expect("fast save");
+    let save_fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Replay: journal every batch, then recover and compare to direct.
+    let dir_replay = scratch("replay");
+    build().save_dir(&dir_replay).expect("save base");
+    {
+        let (mut wal, _) = Wal::open(&dir_replay, Durability::Durable).expect("wal");
+        for (i, b) in batches.iter().enumerate() {
+            wal.append(&format!("replay-{i}"), b).expect("journal");
+        }
+    }
+    let t0 = Instant::now();
+    let mut replayed = ShardedCinct::open_dir(&dir_replay).expect("reopen");
+    let (_, records) = Wal::open(&dir_replay, Durability::Durable).expect("wal reopen");
+    assert_eq!(records.len(), batches.len());
+    for rec in &records {
+        replayed.append_batch(&rec.batch).expect("replay");
+    }
+    let replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(replayed.num_trajectories(), direct.num_trajectories());
+    for pat in [&[0u32, 1][..], &[1, 2], &[2, 3]] {
+        assert_eq!(
+            replayed.count(Path::new(pat)),
+            direct.count(Path::new(pat)),
+            "replayed corpus diverged on {pat:?}"
+        );
+    }
+    println!(
+        "snapshot: durable {save_durable_ms:.1} ms, fast {save_fast_ms:.1} ms; \
+         replay: {} batches in {:.1} ms, identity preserved\n",
+        records.len(),
+        replay_secs * 1e3
+    );
+
+    // --- JSON report (no `speedup` fields: fsync cost is a property of
+    // the host's storage stack and is recorded, never gated). ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"dataset\": \"{}\", \"scale\": {scale}, \"reps\": {reps}, \
+         \"batch\": {batch_len}, \"append_batches\": {}, \"shards\": {SHARDS}, \
+         \"locate_sampling\": {LOCATE_RATE}, \"n_edges\": {n_edges}, \
+         \"note\": \"acked-append latency: in-memory (PR 7 semantics) vs WAL-journaled \
+         with and without fsync. Absolute numbers are host-storage-dependent; nothing \
+         here is gated (no speedup fields by design)\"}},",
+        ds.name,
+        batches.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"append_ack_in_memory\": {{\"mean_us\": {:.1}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}}},",
+        mem.mean_us, mem.p50_us, mem.p99_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"append_ack_wal_fsync\": {{\"mean_us\": {:.1}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"fsync_overhead_us\": {:.1}}},",
+        fsync.mean_us,
+        fsync.p50_us,
+        fsync.p99_us,
+        fsync.mean_us - mem.mean_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"append_ack_wal_no_fsync\": {{\"mean_us\": {:.1}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}}},",
+        nosync.mean_us, nosync.p50_us, nosync.p99_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"save_durable_ms\": {save_durable_ms:.1}, \
+         \"save_fast_ms\": {save_fast_ms:.1}, \"wal_replay_batches\": {}, \
+         \"wal_replay_ms\": {:.1}, \"replay_identity\": true}}",
+        records.len(),
+        replay_secs * 1e3
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("report written to {out_path}");
+
+    for d in [dir_fsync, dir_fast, dir_save, dir_replay] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -4,14 +4,22 @@
 //! (with `--shutdown`) drives a graceful drain and verifies new
 //! connections are refused afterwards.
 //!
-//! Usage: `serveclient <host:port> [--shutdown]`
+//! Usage: `serveclient <host:port> [--shutdown]
+//!                                 [--count-min EDGE N] [--expect-degraded]`
+//!
+//! `--count-min EDGE N` is the crash-recovery probe: assert the server
+//! is healthy and the count of single-edge path `[EDGE]` is at least
+//! `N`, then exit (used after `kill -9` + restart to prove WAL-acked
+//! appends survived). `--expect-degraded` is the quarantine probe:
+//! assert `/healthz` says `degraded` and queries answer 200 with the
+//! `degraded` marker and a non-empty quarantine report.
 //!
 //! Exits non-zero on the first failed check (every check is an
 //! `assert!`), so a CI job can background `cinct serve`, point this
 //! binary at it, and fail the build on any protocol regression.
 
 use cinct_serve::json::{obj, Json};
-use cinct_serve::Client;
+use cinct_serve::{Client, RetryPolicy};
 use std::time::{Duration, Instant};
 
 /// Minimal Prometheus text-format grammar check: every line is a
@@ -66,15 +74,102 @@ fn error_kind(resp: &Json) -> Option<&str> {
     resp.get("error")?.get("kind")?.as_str()
 }
 
+/// Connect with the retry policy: the smoke paths double as exercise
+/// for the client's reconnect/backoff machinery (a server still coming
+/// up right after a restart is exactly what retries are for).
+fn connect(addr: &str) -> Client {
+    Client::connect_with(
+        addr,
+        RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            timeout: Duration::from_secs(5),
+        },
+    )
+    .expect("connect")
+}
+
+/// `--count-min EDGE N`: the post-crash-restart probe.
+fn probe_count_min(addr: &str, edge: u32, min: usize) {
+    let mut client = connect(addr);
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "ok\n"),
+        "healthz after restart"
+    );
+    let n = count_path(&mut client, &[edge]);
+    assert!(
+        n >= min,
+        "count of [{edge}] is {n}, expected >= {min}: acked appends lost across restart"
+    );
+    println!("count-min: count of [{edge}] = {n} >= {min}, healthz ok");
+}
+
+/// `--expect-degraded`: the quarantine probe.
+fn probe_degraded(addr: &str) {
+    let mut client = connect(addr);
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "degraded\n"),
+        "healthz degraded"
+    );
+    let (status, resp) = client
+        .post_json(
+            "/v1/count",
+            &obj(&[("path", Json::from(vec![0u32])), ("cache", false.into())]),
+        )
+        .expect("degraded count");
+    assert_eq!(
+        status,
+        200,
+        "degraded corpus must still answer: {}",
+        resp.render()
+    );
+    assert_eq!(
+        resp.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "response missing degraded marker: {}",
+        resp.render()
+    );
+    let quarantined = resp
+        .get("quarantined")
+        .and_then(Json::as_arr)
+        .expect("quarantined report");
+    assert!(!quarantined.is_empty(), "empty quarantine report");
+    let (status, body) = client.get("/v1/stats").expect("stats");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&body).expect("stats JSON");
+    assert_eq!(stats.get("degraded").and_then(Json::as_bool), Some(true));
+    println!(
+        "degraded: healthz + markers present, {} shard(s) quarantined, queries 200",
+        quarantined.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first() else {
-        eprintln!("usage: serveclient <host:port> [--shutdown]");
+        eprintln!(
+            "usage: serveclient <host:port> [--shutdown] [--count-min EDGE N] [--expect-degraded]"
+        );
         std::process::exit(2);
     };
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    if let Some(i) = args.iter().position(|a| a == "--count-min") {
+        let edge: u32 = args.get(i + 1).and_then(|v| v.parse().ok()).expect("EDGE");
+        let min: usize = args.get(i + 2).and_then(|v| v.parse().ok()).expect("N");
+        probe_count_min(addr, edge, min);
+        return;
+    }
+    if args.iter().any(|a| a == "--expect-degraded") {
+        probe_degraded(addr);
+        return;
+    }
 
-    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let mut client = connect(addr.as_str());
 
     // Liveness + corpus shape.
     let (status, body) = client.get("/healthz").expect("healthz");
@@ -98,15 +193,31 @@ fn main() {
     println!("stats: {shards} shards, {trajectories} trajectories, locate={locate}");
 
     // Query → append → query: the count of [0] must grow by at least
-    // the two appended single-edge trajectories.
+    // the two appended single-edge trajectories. The append carries an
+    // idempotency key (so it is retry-safe) and is then repeated
+    // verbatim to prove the server deduplicates it.
     let before = count_path(&mut client, &[0]);
+    let append_body = obj(&[("batch", Json::from(vec![vec![0u32], vec![0u32]]))]);
+    let key = format!("serveclient-smoke-{}", std::process::id());
     let (status, resp) = client
-        .post_json(
-            "/v1/append",
-            &obj(&[("batch", Json::from(vec![vec![0u32], vec![0u32]]))]),
-        )
+        .append_idempotent(&append_body, &key)
         .expect("append");
     assert_eq!(status, 200, "append failed: {}", resp.render());
+    assert_eq!(
+        resp.get("deduplicated").and_then(Json::as_bool),
+        Some(false),
+        "first keyed append reported deduplicated"
+    );
+    let (status, retried) = client
+        .append_idempotent(&append_body, &key)
+        .expect("append retry");
+    assert_eq!(status, 200);
+    assert_eq!(
+        retried.get("deduplicated").and_then(Json::as_bool),
+        Some(true),
+        "retried keyed append was applied twice: {}",
+        retried.render()
+    );
     let assigned = resp.get("assigned").expect("assigned");
     let (start, end) = (
         assigned.get("start").and_then(Json::as_usize).unwrap(),

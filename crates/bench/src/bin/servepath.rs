@@ -246,7 +246,16 @@ fn main() {
         fan_out_threads: 1,
         ..ServeConfig::default()
     };
-    let server = Server::bind("127.0.0.1:0", corpus, cfg).expect("bind loopback");
+    // Durability on: appends journal + fsync to a WAL exactly like a
+    // production `cinct serve`, so the measured ratios include the
+    // durable append path rather than an in-memory-only fast path.
+    let wal_dir = std::env::temp_dir().join(format!("cinct-servepath-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("WAL scratch dir");
+    let (wal, replay) = cinct::Wal::open(&wal_dir, cinct::Durability::Durable).expect("open WAL");
+    assert!(replay.is_empty());
+    let server =
+        Server::bind_durable("127.0.0.1:0", corpus, cfg, wal, replay).expect("bind loopback");
     let handle = server.handle();
     let addr = handle.addr();
     let srv = std::thread::spawn(move || server.run());
@@ -468,6 +477,7 @@ fn main() {
         .is_err();
     assert!(refused, "drained server still answers new connections");
     println!("drained cleanly; new connections refused");
+    let _ = std::fs::remove_dir_all(&wal_dir);
 
     // --- JSON report. ---
     let mut json = String::from("{\n");

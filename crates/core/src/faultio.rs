@@ -1,0 +1,327 @@
+//! Deterministic fault injection for the persistence layer.
+//!
+//! Every durable mutation in [`crate::store`] and [`crate::wal`] — tmp-file
+//! writes, fsyncs, renames, directory fsyncs — funnels through the
+//! primitives in this module instead of calling `std::fs` directly. A test
+//! **arms** the current thread with a [`Fault`] plan; the primitives then
+//! consult it on every operation and can
+//!
+//! * simulate a **crash at operation N** ([`Fault::CrashAt`]): the N-th
+//!   durable op — and everything after it, since a dead process issues no
+//!   more syscalls — fails with an injected error, optionally leaving a
+//!   **torn** (half-written) file behind, exactly like power loss mid
+//!   `write(2)`;
+//! * fail every fsync ([`Fault::FsyncError`]) or rename
+//!   ([`Fault::RenameError`]) while letting the data writes through;
+//! * flip one bit in the N-th read ([`Fault::BitrotAt`]) to model silent
+//!   media corruption;
+//! * merely **count** operations ([`Fault::Observe`]), which is how the
+//!   crash-matrix test discovers how many injection points a `save_dir`
+//!   or WAL append has before iterating over all of them.
+//!
+//! The plan is **thread-local**: concurrent tests do not interfere, and
+//! the disarmed fast path is one thread-local borrow + `None` check —
+//! nothing the bench gate can see.
+//!
+//! This module is a test harness, but it ships in the library (not behind
+//! `cfg(test)`) so integration tests in other crates — the serve layer's
+//! durability suite, the CI crash matrix — can drive it too.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, Seek, Write};
+use std::path::Path;
+
+/// What an armed thread injects into the IO primitives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Inject nothing; count operations (see [`Report::ops`]). Used to
+    /// enumerate the injection points of a save before crashing at each.
+    Observe,
+    /// Simulate process death at durable operation `at` (0-based): that
+    /// op and every later one fail with an injected error. With `torn`,
+    /// a write at the crash point leaves the first half of its bytes on
+    /// disk — a short write — instead of nothing.
+    CrashAt {
+        /// Index of the first operation that fails.
+        at: usize,
+        /// Whether a write at the crash point lands half its bytes.
+        torn: bool,
+    },
+    /// Every file/directory fsync fails; writes and renames proceed.
+    FsyncError,
+    /// Every rename fails; nothing is renamed.
+    RenameError,
+    /// Flip one bit in the buffer returned by the `at`-th [`read`] call
+    /// (reads are counted separately from durable ops).
+    BitrotAt {
+        /// Index of the read whose buffer is corrupted.
+        at: usize,
+    },
+}
+
+/// What an armed run observed, returned by [`disarm`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Report {
+    /// Durable operations consulted (writes, fsyncs, renames, dir syncs).
+    pub ops: usize,
+    /// Read operations consulted.
+    pub reads: usize,
+    /// Whether the armed fault actually fired.
+    pub fired: bool,
+}
+
+struct State {
+    fault: Fault,
+    report: Report,
+    /// Once a [`Fault::CrashAt`] fires, the "process" is dead: every
+    /// subsequent durable op fails too, so a save cannot half-continue
+    /// past its own crash.
+    crashed: bool,
+}
+
+thread_local! {
+    static STATE: RefCell<Option<State>> = const { RefCell::new(None) };
+}
+
+/// Arm the current thread with `fault`. Replaces any previous plan.
+pub fn arm(fault: Fault) {
+    STATE.with(|s| {
+        *s.borrow_mut() = Some(State {
+            fault,
+            report: Report::default(),
+            crashed: false,
+        })
+    });
+}
+
+/// Disarm the current thread, returning what the armed run observed
+/// (`None` if nothing was armed).
+pub fn disarm() -> Option<Report> {
+    STATE.with(|s| s.borrow_mut().take()).map(|st| st.report)
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+/// Verdict for one durable operation.
+enum Verdict {
+    Proceed,
+    /// Fail without touching the disk.
+    Fail(&'static str),
+    /// (Writes only) land the first half of the bytes, then fail.
+    Torn,
+}
+
+/// The operation classes the plan discriminates on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Write,
+    Sync,
+    Rename,
+}
+
+fn consult(op: Op) -> Verdict {
+    STATE.with(|s| {
+        let mut borrow = s.borrow_mut();
+        let Some(st) = borrow.as_mut() else {
+            return Verdict::Proceed;
+        };
+        let i = st.report.ops;
+        st.report.ops += 1;
+        match st.fault {
+            Fault::Observe | Fault::BitrotAt { .. } => Verdict::Proceed,
+            Fault::CrashAt { at, torn } => {
+                if st.crashed {
+                    Verdict::Fail("crashed")
+                } else if i == at {
+                    st.crashed = true;
+                    st.report.fired = true;
+                    if torn && op == Op::Write {
+                        Verdict::Torn
+                    } else {
+                        Verdict::Fail("crash")
+                    }
+                } else {
+                    Verdict::Proceed
+                }
+            }
+            Fault::FsyncError if op == Op::Sync => {
+                st.report.fired = true;
+                Verdict::Fail("fsync failure")
+            }
+            Fault::RenameError if op == Op::Rename => {
+                st.report.fired = true;
+                Verdict::Fail("rename failure")
+            }
+            _ => Verdict::Proceed,
+        }
+    })
+}
+
+/// Create/overwrite `path` with `bytes` (a durable **write** op).
+pub(crate) fn write_file(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    match consult(Op::Write) {
+        Verdict::Proceed => std::fs::write(path, bytes),
+        Verdict::Torn => {
+            let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
+            Err(injected("torn write"))
+        }
+        Verdict::Fail(what) => Err(injected(what)),
+    }
+}
+
+/// Append `bytes` to an open file (a durable **write** op).
+pub(crate) fn append_file(file: &mut File, bytes: &[u8]) -> io::Result<()> {
+    match consult(Op::Write) {
+        Verdict::Proceed => file.write_all(bytes),
+        Verdict::Torn => {
+            let _ = file.write_all(&bytes[..bytes.len() / 2]);
+            let _ = file.flush();
+            Err(injected("torn write"))
+        }
+        Verdict::Fail(what) => Err(injected(what)),
+    }
+}
+
+/// fsync an open file (a durable **sync** op).
+pub(crate) fn sync_file(file: &File) -> io::Result<()> {
+    match consult(Op::Sync) {
+        Verdict::Proceed => file.sync_all(),
+        Verdict::Torn | Verdict::Fail(_) => Err(injected("fsync failure")),
+    }
+}
+
+/// fsync a path — a file or (on Unix) a directory — by opening it
+/// read-only and calling `sync_all` (a durable **sync** op). Directory
+/// fsync is what makes a rename itself survive power loss.
+pub(crate) fn sync_path(path: &Path) -> io::Result<()> {
+    match consult(Op::Sync) {
+        Verdict::Proceed => File::open(path)?.sync_all(),
+        Verdict::Torn | Verdict::Fail(_) => Err(injected("fsync failure")),
+    }
+}
+
+/// Rename `from` to `to` (a durable **rename** op).
+pub(crate) fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    match consult(Op::Rename) {
+        Verdict::Proceed => std::fs::rename(from, to),
+        Verdict::Torn | Verdict::Fail(_) => Err(injected("rename failure")),
+    }
+}
+
+/// Truncate an open file to `len` and re-seek to its end (a durable
+/// **write** op — WAL truncation after a successful save goes through
+/// here so the crash matrix covers it).
+pub(crate) fn truncate_file(file: &mut File, len: u64) -> io::Result<()> {
+    match consult(Op::Write) {
+        Verdict::Proceed => {
+            file.set_len(len)?;
+            file.seek(io::SeekFrom::Start(len)).map(|_| ())
+        }
+        Verdict::Torn | Verdict::Fail(_) => Err(injected("truncate failure")),
+    }
+}
+
+/// Read a whole file, optionally flipping one bit per [`Fault::BitrotAt`].
+pub(crate) fn read(path: &Path) -> io::Result<Vec<u8>> {
+    let mut bytes = std::fs::read(path)?;
+    STATE.with(|s| {
+        let mut borrow = s.borrow_mut();
+        if let Some(st) = borrow.as_mut() {
+            let i = st.report.reads;
+            st.report.reads += 1;
+            if let Fault::BitrotAt { at } = st.fault {
+                if i == at && !bytes.is_empty() {
+                    st.report.fired = true;
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x10;
+                }
+            }
+        }
+    });
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_primitives_pass_through() {
+        let dir = std::env::temp_dir().join(format!("cinct-faultio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("a");
+        write_file(&f, b"hello").unwrap();
+        assert_eq!(read(&f).unwrap(), b"hello");
+        sync_path(&f).unwrap();
+        let g = dir.join("b");
+        rename(&f, &g).unwrap();
+        assert_eq!(read(&g).unwrap(), b"hello");
+        assert!(disarm().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_fails_the_nth_op_and_everything_after() {
+        let dir = std::env::temp_dir().join(format!("cinct-faultio-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        arm(Fault::CrashAt { at: 1, torn: false });
+        write_file(&dir.join("a"), b"one").unwrap(); // op 0: fine
+        assert!(write_file(&dir.join("b"), b"two").is_err()); // op 1: crash
+        assert!(sync_path(&dir.join("a")).is_err()); // dead process
+        let rep = disarm().unwrap();
+        assert_eq!(rep.ops, 3);
+        assert!(rep.fired);
+        assert!(!dir.join("b").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_crash_leaves_half_the_bytes() {
+        let dir = std::env::temp_dir().join(format!("cinct-faultio-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        arm(Fault::CrashAt { at: 0, torn: true });
+        assert!(write_file(&dir.join("t"), b"0123456789").is_err());
+        disarm().unwrap();
+        assert_eq!(std::fs::read(dir.join("t")).unwrap(), b"01234");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitrot_flips_one_bit_in_the_targeted_read() {
+        let dir = std::env::temp_dir().join(format!("cinct-faultio-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("r");
+        write_file(&f, b"abcd").unwrap();
+        arm(Fault::BitrotAt { at: 1 });
+        assert_eq!(read(&f).unwrap(), b"abcd"); // read 0: clean
+        assert_ne!(read(&f).unwrap(), b"abcd"); // read 1: one bit flipped
+        assert!(disarm().unwrap().fired);
+        assert_eq!(std::fs::read(&f).unwrap(), b"abcd"); // disk untouched
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_and_rename_faults_are_selective() {
+        let dir = std::env::temp_dir().join(format!("cinct-faultio-sel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("x");
+        arm(Fault::FsyncError);
+        write_file(&f, b"ok").unwrap();
+        assert!(sync_path(&f).is_err());
+        rename(&f, &dir.join("y")).unwrap();
+        assert!(disarm().unwrap().fired);
+        arm(Fault::RenameError);
+        assert!(rename(&dir.join("y"), &dir.join("z")).is_err());
+        sync_path(&dir.join("y")).unwrap();
+        assert!(disarm().unwrap().fired);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -117,6 +117,7 @@ pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod et_graph;
+pub mod faultio;
 pub mod index;
 pub mod metrics;
 pub mod rml;
@@ -126,6 +127,7 @@ pub mod store;
 pub mod temporal;
 pub mod text_io;
 pub mod trace;
+pub mod wal;
 
 pub use builder::{CinctBuilder, ConstructionTimings};
 pub use engine::{BatchReport, Query, QueryEngine, QueryOutcome, QueryValue};
@@ -133,12 +135,14 @@ pub use error::QueryError;
 pub use et_graph::EtGraph;
 pub use index::CinctIndex;
 pub use rml::{LabelingStrategy, Rml};
-pub use shard::{PreparedBatch, ShardPartition, ShardedBuilder, ShardedCinct};
+pub use shard::{PreparedBatch, QuarantinedShard, ShardPartition, ShardedBuilder, ShardedCinct};
 pub use stats::DatasetStats;
+pub use store::{Durability, OpenMode};
 pub use temporal::{
     StrictIter, StrictPathMatch, StrictPathQuery, TemporalCinct, TimestampedTrajectory,
 };
 pub use trace::{QueryTrace, ShardTrace, TraceStep};
+pub use wal::{Wal, WalRecord};
 
 // The unified query surface lives in `cinct_fmindex` (below every backend
 // in the dependency graph); re-export it so `use cinct::PathQuery` works.

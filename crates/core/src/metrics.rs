@@ -121,6 +121,23 @@ pub struct StoreMetrics {
     pub checksum_ok: Arc<Counter>,
     /// Checksum verifications that failed.
     pub checksum_fail: Arc<Counter>,
+    /// fsync calls that failed (durability unknown — the save/append errors).
+    pub fsync_fail: Arc<Counter>,
+    /// Shards a resilient open quarantined instead of serving.
+    pub quarantined: Arc<Counter>,
+    /// Crash-leftover `*.tmp` files swept by `open_dir`.
+    pub tmp_swept: Arc<Counter>,
+    /// Append batches journaled to the WAL (before acking).
+    pub wal_appends: Arc<Counter>,
+    /// WAL records replayed into a corpus on startup.
+    pub wal_replayed: Arc<Counter>,
+    /// WAL truncations after a successful save made records redundant.
+    pub wal_truncations: Arc<Counter>,
+    /// Torn/corrupt WAL tails dropped on open (normal after a crash
+    /// mid-append: the torn record was never acked).
+    pub wal_torn_tail: Arc<Counter>,
+    /// Latency of one durable WAL append — journal write + fsync (ns).
+    pub wal_append_ns: Arc<Histogram>,
 }
 
 /// Store metric handles (resolved once, then lock-free).
@@ -138,6 +155,35 @@ pub fn store() -> &'static StoreMetrics {
             checksum_fail: r.counter(
                 "cinct_store_checksum_fail_total",
                 "Checksum verifications that failed",
+            ),
+            fsync_fail: r.counter("cinct_store_fsync_fail_total", "fsync calls that failed"),
+            quarantined: r.counter(
+                "cinct_store_quarantined_shards_total",
+                "Shards quarantined by resilient opens",
+            ),
+            tmp_swept: r.counter(
+                "cinct_store_tmp_swept_total",
+                "Crash-leftover .tmp files swept by open_dir",
+            ),
+            wal_appends: r.counter(
+                "cinct_wal_appends_total",
+                "Append batches journaled to the WAL",
+            ),
+            wal_replayed: r.counter(
+                "cinct_wal_replayed_total",
+                "WAL records replayed into a corpus on startup",
+            ),
+            wal_truncations: r.counter(
+                "cinct_wal_truncations_total",
+                "WAL truncations after a successful save",
+            ),
+            wal_torn_tail: r.counter(
+                "cinct_wal_torn_tail_total",
+                "Torn or corrupt WAL tails dropped on open",
+            ),
+            wal_append_ns: r.histogram(
+                "cinct_wal_append_ns",
+                "Durable WAL append latency: journal write + fsync (ns)",
             ),
         }
     })

@@ -83,6 +83,24 @@ pub enum ShardPartition {
     SizeBalanced,
 }
 
+/// A shard excluded from a resiliently opened corpus, and why.
+///
+/// Produced by [`ShardedCinct::open_dir_with`](crate::store::OpenMode)
+/// when a shard fails its checksum, parse, or namespace checks. The
+/// shard's trajectories stay *reserved* in the global namespace (so
+/// appends keep numbering correctly) but read as unavailable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// The shard's slot in the manifest it was loaded from.
+    pub slot: usize,
+    /// The shard file's name inside the corpus directory.
+    pub file: String,
+    /// How many trajectories the manifest says the shard held.
+    pub trajectories: usize,
+    /// The failure that quarantined it (a rendered [`QueryError`]).
+    pub reason: String,
+}
+
 /// One shard: a self-contained [`CinctIndex`] over a slice of the corpus,
 /// plus the manifest column mapping its local trajectory IDs back to the
 /// corpus-global namespace.
@@ -339,6 +357,9 @@ pub struct ShardedCinct {
     /// (`available_parallelism` is a syscall — far too expensive per
     /// query on the hot path).
     fan_threads: usize,
+    /// Shards a resilient open excluded (empty for a healthy corpus).
+    /// Their global IDs are holes in `lookup`.
+    quarantined: Vec<QuarantinedShard>,
 }
 
 impl ShardedCinct {
@@ -358,7 +379,23 @@ impl ShardedCinct {
         config: ShardedBuilder,
     ) -> Result<Self, QueryError> {
         let n: usize = shards.iter().map(|s| s.globals.len()).sum();
-        let mut lookup = vec![(u32::MAX, u32::MAX); n];
+        Self::assemble_with_holes(shards, n, n_edges, config, Vec::new())
+    }
+
+    /// [`ShardedCinct::assemble`] over a namespace of `n_total` IDs of
+    /// which some may be **holes** — IDs belonging to `quarantined`
+    /// shards a resilient open excluded. Holes are only legal when a
+    /// quarantine explains them; with `quarantined` empty this is exactly
+    /// the strict total-coverage assembly.
+    pub(crate) fn assemble_with_holes(
+        shards: Vec<Shard>,
+        n_total: usize,
+        n_edges: usize,
+        config: ShardedBuilder,
+        quarantined: Vec<QuarantinedShard>,
+    ) -> Result<Self, QueryError> {
+        let mut lookup = vec![(u32::MAX, u32::MAX); n_total];
+        let mut filled = 0usize;
         for (s, shard) in shards.iter().enumerate() {
             if shard.globals.len() != shard.index.num_trajectories() {
                 return Err(QueryError::CorruptIndex(format!(
@@ -370,7 +407,7 @@ impl ShardedCinct {
             for (l, &g) in shard.globals.iter().enumerate() {
                 let slot = lookup.get_mut(g as usize).ok_or_else(|| {
                     QueryError::CorruptIndex(format!(
-                        "shard {s}: global trajectory id {g} out of range (corpus has {n})"
+                        "shard {s}: global trajectory id {g} out of range (corpus has {n_total})"
                     ))
                 })?;
                 if slot.0 != u32::MAX {
@@ -380,9 +417,17 @@ impl ShardedCinct {
                     )));
                 }
                 *slot = (s as u32, l as u32);
+                filled += 1;
             }
         }
-        // n slots, n entries, no duplicates => total coverage; no second scan needed.
+        // n_total slots, `filled` entries, no duplicates: any shortfall
+        // must be accounted for by a quarantine.
+        if filled < n_total && quarantined.is_empty() {
+            return Err(QueryError::CorruptIndex(format!(
+                "{} global trajectory id(s) missing from every shard",
+                n_total - filled
+            )));
+        }
         let mut bases = Vec::with_capacity(shards.len() + 1);
         bases.push(0usize);
         for shard in &shards {
@@ -396,6 +441,7 @@ impl ShardedCinct {
             n_edges,
             config,
             fan_threads,
+            quarantined,
         })
     }
 
@@ -429,16 +475,58 @@ impl ShardedCinct {
         &self.shards[s].globals
     }
 
+    /// Whether this corpus was resiliently opened around damaged shards.
+    /// Degraded corpora answer queries over the surviving shards but
+    /// refuse [`ShardedCinct::save_dir`] and [`ShardedCinct::compact`].
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// The shards a resilient open quarantined (empty when healthy).
+    pub fn quarantined(&self) -> &[QuarantinedShard] {
+        &self.quarantined
+    }
+
+    /// Whether global trajectory `g` is loaded — `false` for IDs beyond
+    /// the namespace *and* for IDs stranded in a quarantined shard.
+    pub fn trajectory_available(&self, g: usize) -> bool {
+        self.lookup.get(g).is_some_and(|&(s, _)| s != u32::MAX)
+    }
+
     /// Where global trajectory `g` lives: `(shard, local_id)`.
+    ///
+    /// Panics if `g` is out of range or quarantined — query
+    /// [`ShardedCinct::trajectory_available`] (or use
+    /// [`ShardedCinct::try_trajectory`]) on possibly-degraded corpora.
     pub fn shard_of(&self, g: usize) -> (usize, usize) {
         let (s, l) = self.lookup[g];
+        debug_assert!(s != u32::MAX, "trajectory {g} is quarantined");
         (s as usize, l as usize)
     }
 
     /// Recover global trajectory `g` (forward edge order) from its shard.
+    ///
+    /// Panics on an out-of-range or quarantined `g` — see
+    /// [`ShardedCinct::try_trajectory`] for the fallible form.
     pub fn trajectory(&self, g: usize) -> Vec<u32> {
         let (s, l) = self.shard_of(g);
         self.shards[s].index.trajectory(l)
+    }
+
+    /// Fallible [`ShardedCinct::trajectory`]: `InvalidInput` for an ID
+    /// beyond the namespace, `CorruptIndex` for one whose shard a
+    /// resilient open quarantined.
+    pub fn try_trajectory(&self, g: usize) -> Result<Vec<u32>, QueryError> {
+        match self.lookup.get(g) {
+            None => Err(QueryError::InvalidInput(format!(
+                "trajectory id {g} out of range (corpus has {})",
+                self.lookup.len()
+            ))),
+            Some(&(s, _)) if s == u32::MAX => Err(QueryError::CorruptIndex(format!(
+                "trajectory {g} is unavailable: its shard is quarantined"
+            ))),
+            Some(&(s, l)) => Ok(self.shards[s as usize].index.trajectory(l as usize)),
+        }
     }
 
     /// Length (in edges) of global trajectory `g`.
@@ -579,6 +667,12 @@ impl ShardedCinct {
             return Err(QueryError::InvalidInput(
                 "compact target must be >= 1 shard".into(),
             ));
+        }
+        if self.is_degraded() {
+            return Err(QueryError::InvalidInput(format!(
+                "refusing to compact a degraded corpus ({} quarantined shard(s) would be dropped)",
+                self.quarantined.len()
+            )));
         }
         // Global ID g == corpus position, so rebuilding from trajectories
         // in global order re-derives the same namespace.

@@ -29,9 +29,10 @@
 //!   (with the offending path in the message).
 
 use crate::builder::CinctBuilder;
+use crate::faultio;
 use crate::index::CinctIndex;
 use crate::rml::LabelingStrategy;
-use crate::shard::{ShardPartition, ShardedBuilder, ShardedCinct};
+use crate::shard::{QuarantinedShard, Shard, ShardPartition, ShardedBuilder, ShardedCinct};
 use cinct_fmindex::QueryError;
 use cinct_succinct::serial::{read_u64, read_usize, write_u64, write_usize, Persist};
 use std::io::Cursor;
@@ -53,12 +54,50 @@ pub fn shard_file_name(s: usize, checksum: u64) -> String {
     format!("shard-{s:05}-{checksum:016x}.cinct")
 }
 
+/// How hard the store pushes bytes toward the platter.
+///
+/// [`Durability::Durable`] (the default everywhere) fsyncs each file
+/// before its commit rename and fsyncs the parent directory after, so a
+/// completed [`ShardedCinct::save_dir`] survives not just a process crash
+/// but a machine crash. [`Durability::Fast`] skips every fsync — the
+/// temp-file + rename discipline still protects against *process* death,
+/// but a power cut can lose the whole save. Benches opt into `Fast` to
+/// measure compute without storage-stack noise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// fsync files and the parent directory around the commit rename.
+    #[default]
+    Durable,
+    /// No fsync: page-cache durability only (benches, scratch corpora).
+    Fast,
+}
+
 /// Write `bytes` to `path` atomically: through a `.tmp` sibling +
-/// rename, so readers never observe a half-written file.
-fn write_atomic(path: &FsPath, bytes: &[u8]) -> Result<(), QueryError> {
+/// rename, so readers never observe a half-written file. Under
+/// [`Durability::Durable`] the sibling is fsynced before the rename (the
+/// rename must not beat its data to disk) and the parent directory after
+/// (the rename itself must survive power loss).
+fn write_atomic(path: &FsPath, bytes: &[u8], durability: Durability) -> Result<(), QueryError> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    faultio::write_file(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+    if durability == Durability::Durable {
+        faultio::sync_path(&tmp).map_err(|e| fsync_err(&tmp, e))?;
+    }
+    faultio::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    if durability == Durability::Durable {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let parent = parent.unwrap_or(FsPath::new("."));
+        faultio::sync_path(parent).map_err(|e| fsync_err(parent, e))?;
+    }
+    Ok(())
+}
+
+/// An fsync failure leaves durability unknown — surface it as an error
+/// (callers must not ack) and count it, because a recurring fsync failure
+/// is a dying disk.
+pub(crate) fn fsync_err(path: &FsPath, e: std::io::Error) -> QueryError {
+    crate::metrics::store().fsync_fail.inc();
+    QueryError::Io(format!("fsync {}: {e}", path.display()))
 }
 
 /// FNV-1a 64-bit — the store's integrity checksum. Not cryptographic;
@@ -73,7 +112,7 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn io_err(path: &FsPath, e: std::io::Error) -> QueryError {
+pub(crate) fn io_err(path: &FsPath, e: std::io::Error) -> QueryError {
     QueryError::Io(format!("{}: {:?}: {e}", path.display(), e.kind()))
 }
 
@@ -112,9 +151,28 @@ fn partition_from_raw(tag: u64) -> Result<ShardPartition, QueryError> {
     }
 }
 
+/// How [`ShardedCinct::open_dir_with`] reacts to a damaged shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Any structural failure anywhere fails the whole open — the
+    /// default, and the right answer for pipelines that would rather
+    /// stop than silently serve a partial corpus.
+    #[default]
+    Strict,
+    /// Quarantine shards that fail their checksum / parse / namespace
+    /// checks and serve the rest. The result reports the damage through
+    /// [`ShardedCinct::quarantined`] and refuses `save_dir`/`compact`
+    /// (which would launder the loss into a "clean" corpus). Manifest
+    /// damage is still fatal — without it nothing can be trusted.
+    Resilient,
+}
+
 impl ShardedCinct {
     /// Persist the sharded index into directory `dir` (created if
     /// missing): one file per shard plus the checksummed manifest.
+    /// Durable ([`Durability::Durable`]): every file is fsynced and the
+    /// directory fsynced after the manifest rename — see
+    /// [`ShardedCinct::save_dir_with`] for the benchmark escape hatch.
     ///
     /// **Crash-safe by construction**: shard files are content-addressed
     /// ([`shard_file_name`] embeds the checksum), so a save never
@@ -126,7 +184,28 @@ impl ShardedCinct {
     /// consistent old index — plus possibly some unreferenced new files,
     /// which the next successful save garbage-collects.
     pub fn save_dir(&self, dir: impl AsRef<FsPath>) -> Result<(), QueryError> {
+        self.save_dir_with(dir, Durability::Durable)
+    }
+
+    /// [`ShardedCinct::save_dir`] with an explicit [`Durability`] choice.
+    ///
+    /// Refuses to save a **degraded** corpus (one opened resiliently with
+    /// quarantined shards): the manifest written here would describe only
+    /// the surviving shards, quietly turning quarantine into deletion.
+    /// Recover the damaged files (or accept the loss by rebuilding from
+    /// extracted trajectories) instead.
+    pub fn save_dir_with(
+        &self,
+        dir: impl AsRef<FsPath>,
+        durability: Durability,
+    ) -> Result<(), QueryError> {
         let _span = cinct_obs::Span::enter(&crate::metrics::store().save_ns);
+        if self.is_degraded() {
+            return Err(QueryError::InvalidInput(format!(
+                "refusing to save a degraded corpus ({} quarantined shard(s) would be dropped)",
+                self.quarantined().len()
+            )));
+        }
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
         // Shard files first, collecting names + checksums for the manifest.
@@ -143,7 +222,7 @@ impl ShardedCinct {
             // The name *is* the content hash: an existing file with this
             // name already holds these bytes (open_dir re-verifies).
             if !path.exists() {
-                write_atomic(&path, &bytes)?;
+                write_atomic(&path, &bytes, durability)?;
             }
             names.push(name);
             checksums.push(checksum);
@@ -171,7 +250,7 @@ impl ShardedCinct {
         }
         let digest = fnv64(&m);
         write_u64(&mut m, digest)?;
-        write_atomic(&dir.join(MANIFEST_FILE), &m)?;
+        write_atomic(&dir.join(MANIFEST_FILE), &m, durability)?;
         // The new manifest is live — garbage-collect shard files it does
         // not reference (previous generations, stray temp files). Best
         // effort: a leftover file is harmless, only disk overhead.
@@ -190,16 +269,31 @@ impl ShardedCinct {
         Ok(())
     }
 
-    /// Reopen a directory written by [`ShardedCinct::save_dir`].
+    /// Reopen a directory written by [`ShardedCinct::save_dir`]
+    /// (strict: any structural failure anywhere fails the open).
     ///
     /// Every structural failure is a typed error (see the
     /// [module docs](self) for the taxonomy); nothing panics on corrupt
     /// or missing state.
     pub fn open_dir(dir: impl AsRef<FsPath>) -> Result<ShardedCinct, QueryError> {
+        Self::open_dir_with(dir, OpenMode::Strict)
+    }
+
+    /// Reopen a directory with an explicit damage policy — see
+    /// [`OpenMode`]. Under [`OpenMode::Resilient`] a shard that fails its
+    /// checksum, parse, or namespace checks is **quarantined** (recorded
+    /// in [`ShardedCinct::quarantined`], counted in
+    /// `cinct_store_quarantined_shards_total`) and the rest of the corpus
+    /// is served; its trajectories read as absent. Both modes sweep
+    /// crash-leftover `*.tmp` siblings after a successful open.
+    pub fn open_dir_with(
+        dir: impl AsRef<FsPath>,
+        mode: OpenMode,
+    ) -> Result<ShardedCinct, QueryError> {
         let _span = cinct_obs::Span::enter(&crate::metrics::store().open_ns);
         let dir = dir.as_ref();
         let mpath = dir.join(MANIFEST_FILE);
-        let bytes = std::fs::read(&mpath).map_err(|e| io_err(&mpath, e))?;
+        let bytes = faultio::read(&mpath).map_err(|e| io_err(&mpath, e))?;
         if bytes.len() < 16 {
             return Err(corrupt("shard manifest too short to hold a header"));
         }
@@ -251,45 +345,127 @@ impl ShardedCinct {
             .index_builder(index_builder);
 
         let mut shards = Vec::with_capacity(n_shards);
+        let mut quarantined: Vec<QuarantinedShard> = Vec::new();
+        // Which global IDs the accepted shards claim — resilient mode
+        // must reject a duplicate claim per shard, not per corpus.
+        let mut seen = vec![false; n_trajs];
         for s in 0..n_shards {
+            // Manifest fields always parse (the stream has one layout);
+            // only the shard *file* and its cross-checks can quarantine.
             let name_bytes: Vec<u8> = Persist::restore(r)?;
-            let name = String::from_utf8(name_bytes)
-                .map_err(|_| corrupt(format!("shard {s}: file name is not UTF-8")))?;
-            if name.contains(['/', '\\']) || name.contains("..") || name.is_empty() {
-                return Err(corrupt(format!(
-                    "shard {s}: unsafe file name {name:?} in manifest"
-                )));
-            }
+            let name = String::from_utf8_lossy(&name_bytes).into_owned();
             let n_local = read_usize(r)?;
             let checksum = read_u64(r)?;
             let globals: Vec<u32> = Persist::restore(r)?;
-            if globals.len() != n_local {
-                return Err(corrupt(format!(
-                    "shard {s}: manifest declares {n_local} trajectories but lists {} IDs",
-                    globals.len()
-                )));
+            match load_shard(dir, s, &name, n_local, checksum, &globals, &mut seen) {
+                Ok(shard) => shards.push(shard),
+                Err(e) if mode == OpenMode::Resilient => {
+                    crate::metrics::store().quarantined.inc();
+                    quarantined.push(QuarantinedShard {
+                        slot: s,
+                        file: name,
+                        trajectories: n_local,
+                        reason: e.to_string(),
+                    });
+                }
+                Err(e) => return Err(e),
             }
-            let spath = dir.join(&name);
-            let sbytes = std::fs::read(&spath).map_err(|e| io_err(&spath, e))?;
-            if fnv64(&sbytes) != checksum {
-                crate::metrics::store().checksum_fail.inc();
-                return Err(corrupt(format!(
-                    "shard file {} checksum mismatch (truncated or corrupted)",
-                    spath.display()
-                )));
-            }
-            crate::metrics::store().checksum_ok.inc();
-            let index = CinctIndex::read_from(&mut Cursor::new(sbytes))?;
-            shards.push(crate::shard::Shard { index, globals });
         }
-        let loaded = ShardedCinct::assemble(shards, n_edges, config)?;
+        let loaded =
+            ShardedCinct::assemble_with_holes(shards, n_trajs, n_edges, config, quarantined)?;
         if loaded.num_trajectories() != n_trajs {
             return Err(corrupt(format!(
                 "manifest declares {n_trajs} trajectories, shards hold {}",
                 loaded.num_trajectories()
             )));
         }
+        // A crashed save can strand `*.tmp` siblings forever (save_dir's
+        // GC only runs on the next save). Sweep them now that the open
+        // proved the directory coherent. Best effort.
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let is_tmp = entry.file_name().to_string_lossy().ends_with(".tmp");
+                if is_tmp && std::fs::remove_file(entry.path()).is_ok() {
+                    crate::metrics::store().tmp_swept.inc();
+                }
+            }
+        }
         Ok(loaded)
+    }
+}
+
+/// Load + fully validate one shard: manifest cross-checks (safe file
+/// name, ID-column arity, namespace claims against `seen`), then the
+/// file itself (checksum before parse). Marks `seen` only on success so
+/// a rejected shard leaves no namespace footprint.
+#[allow(clippy::too_many_arguments)]
+fn load_shard(
+    dir: &FsPath,
+    s: usize,
+    name: &str,
+    n_local: usize,
+    checksum: u64,
+    globals: &[u32],
+    seen: &mut [bool],
+) -> Result<Shard, QueryError> {
+    if name.contains(['/', '\\']) || name.contains("..") || name.is_empty() {
+        return Err(corrupt(format!(
+            "shard {s}: unsafe file name {name:?} in manifest"
+        )));
+    }
+    if globals.len() != n_local {
+        return Err(corrupt(format!(
+            "shard {s}: manifest declares {n_local} trajectories but lists {} IDs",
+            globals.len()
+        )));
+    }
+    // Claim the shard's IDs up front (so a duplicate inside the shard is
+    // caught too), rolling every claim back if anything later fails —
+    // a quarantined shard must leave no namespace footprint.
+    let rollback = |seen: &mut [bool], n: usize| {
+        for &g in &globals[..n] {
+            seen[g as usize] = false;
+        }
+    };
+    for (i, &g) in globals.iter().enumerate() {
+        let gi = g as usize;
+        if gi >= seen.len() {
+            rollback(seen, i);
+            return Err(corrupt(format!(
+                "shard {s}: global trajectory id {g} out of range (corpus has {})",
+                seen.len()
+            )));
+        }
+        if seen[gi] {
+            rollback(seen, i);
+            return Err(corrupt(format!(
+                "shard {s}: global trajectory id {g} claimed twice"
+            )));
+        }
+        seen[gi] = true;
+    }
+    let spath = dir.join(name);
+    let loaded = (|| {
+        let sbytes = faultio::read(&spath).map_err(|e| io_err(&spath, e))?;
+        if fnv64(&sbytes) != checksum {
+            crate::metrics::store().checksum_fail.inc();
+            return Err(corrupt(format!(
+                "shard file {} checksum mismatch (truncated or corrupted)",
+                spath.display()
+            )));
+        }
+        crate::metrics::store().checksum_ok.inc();
+        CinctIndex::read_from(&mut Cursor::new(sbytes))
+    })();
+    match loaded {
+        Ok(index) => Ok(Shard {
+            index,
+            globals: globals.to_vec(),
+        }),
+        Err(e) => {
+            rollback(seen, globals.len());
+            Err(e)
+        }
     }
 }
 

@@ -1,0 +1,367 @@
+//! A length-prefixed, checksummed **write-ahead log** for append batches.
+//!
+//! `cinct serve` journals every `/v1/append` batch here *before* acking
+//! it, so an acknowledged append survives `kill -9` — on the next start
+//! the server replays the log into the reopened corpus, which only knows
+//! about batches that made it into a [`ShardedCinct::save_dir`] manifest.
+//! A successful save makes the journal redundant and truncates it.
+//!
+//! # On-disk format
+//!
+//! One file, `wal.cinct`, inside the corpus directory:
+//!
+//! ```text
+//! [u64 magic|version]                                  8-byte header
+//! [u64 len][u64 fnv64(payload)][payload: len bytes]    record 0
+//! [u64 len][u64 fnv64(payload)][payload]               record 1
+//! ...
+//! ```
+//!
+//! A payload is the idempotency key (a `Vec<u8>` in [`Persist`] layout)
+//! followed by the batch (`u64` count, then each trajectory as a
+//! `Vec<u32>`). Records are framed independently, so recovery never
+//! needs to trust anything past the last intact frame.
+//!
+//! # Crash semantics
+//!
+//! The only artifact a crash mid-append can leave is a **torn tail**: a
+//! final frame with a short body or a checksum mismatch. That record was
+//! never acknowledged (the ack happens after the durable append
+//! returns), so [`Wal::open`] drops it — it truncates the file back to
+//! the last intact frame and counts `cinct_wal_torn_tail_total`. A
+//! damaged *header* is not recoverable and fails the open.
+//!
+//! Appends go through [`crate::faultio`], so the crash-matrix test
+//! drives simulated power loss through every write and fsync in here
+//! exactly like it does for `save_dir`.
+//!
+//! [`ShardedCinct::save_dir`]: crate::shard::ShardedCinct::save_dir
+
+use crate::faultio;
+use crate::store::{fnv64, fsync_err, io_err, Durability};
+use cinct_fmindex::QueryError;
+use cinct_succinct::serial::{read_usize, write_usize, Persist};
+use std::fs::{File, OpenOptions};
+use std::io::{Cursor, Seek, SeekFrom};
+use std::path::{Path as FsPath, PathBuf};
+
+/// The journal file inside a sharded-corpus directory.
+pub const WAL_FILE: &str = "wal.cinct";
+
+/// WAL magic prefix ("CINCWL" as bytes, low 16 bits = format version).
+const WAL_PREFIX: u64 = 0x4349_4e43_574c_0000;
+/// Current WAL format version.
+const WAL_VERSION: u64 = 1;
+/// Bytes of header before the first record.
+const HEADER_LEN: u64 = 8;
+
+/// One journaled append: its idempotency key (empty if the client sent
+/// none) and the batch of trajectories.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Client-supplied idempotency key, `""` for unkeyed appends.
+    pub key: String,
+    /// The appended trajectories, in batch order.
+    pub batch: Vec<Vec<u32>>,
+}
+
+/// An open append journal. Obtain one (plus any records a previous
+/// process left behind) with [`Wal::open`]; journal with [`Wal::append`]
+/// before acknowledging; call [`Wal::truncate`] once a successful
+/// `save_dir` has made the journaled batches durable in the manifest.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    durability: Durability,
+    pending: usize,
+    /// Set after a failed append/truncate: the file tail is no longer
+    /// trusted, so further appends are refused until a reopen re-walks
+    /// the frames.
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("durability", &self.durability)
+            .field("pending", &self.pending)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Open (or create) the journal in corpus directory `dir`, returning
+    /// the writer plus every intact record a previous process journaled
+    /// but never folded into a manifest — the caller replays those into
+    /// its freshly opened corpus, in order, before serving.
+    ///
+    /// A torn tail (the one artifact of a crash mid-append) is dropped
+    /// and the file truncated back to its last intact frame; a corrupt
+    /// header is `CorruptIndex`.
+    pub fn open(
+        dir: impl AsRef<FsPath>,
+        durability: Durability,
+    ) -> Result<(Wal, Vec<WalRecord>), QueryError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let mut wal = Wal {
+            file,
+            path: path.clone(),
+            durability,
+            pending: 0,
+            poisoned: false,
+        };
+        // A file shorter than the header can only mean "never existed"
+        // or "crashed while being created" (the header is written —
+        // durably — before the first append can ack anything), so both
+        // bootstrap a fresh journal.
+        let fresh = wal.file.metadata().map_err(|e| io_err(&path, e))?.len() < HEADER_LEN;
+        if fresh {
+            wal.file.set_len(0).map_err(|e| io_err(&path, e))?;
+            wal.file
+                .seek(SeekFrom::Start(0))
+                .map_err(|e| io_err(&path, e))?;
+            // Header now, so recovery can always tell "new journal" from
+            // "damaged journal"; durably, so the file itself survives.
+            faultio::append_file(&mut wal.file, &(WAL_PREFIX | WAL_VERSION).to_le_bytes())
+                .map_err(|e| io_err(&path, e))?;
+            if durability == Durability::Durable {
+                faultio::sync_file(&wal.file).map_err(|e| fsync_err(&path, e))?;
+                faultio::sync_path(dir).map_err(|e| fsync_err(dir, e))?;
+            }
+            return Ok((wal, Vec::new()));
+        }
+        let bytes = faultio::read(&path).map_err(|e| io_err(&path, e))?;
+        let magic = u64::from_le_bytes(bytes[..8].try_into().expect("length checked"));
+        if magic & !0xffff != WAL_PREFIX {
+            return Err(QueryError::CorruptIndex(
+                "not a CiNCT WAL (bad magic)".into(),
+            ));
+        }
+        if magic & 0xffff != WAL_VERSION {
+            return Err(QueryError::CorruptIndex(format!(
+                "unsupported WAL version {} (this build reads {WAL_VERSION})",
+                magic & 0xffff
+            )));
+        }
+        let mut records = Vec::new();
+        let mut off = HEADER_LEN as usize;
+        let mut intact_end = off;
+        while bytes.len() - off >= 16 {
+            let len = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+            let stored = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+            let Some(end) = off.checked_add(16).and_then(|s| s.checked_add(len)) else {
+                break; // absurd length: torn frame
+            };
+            if end > bytes.len() {
+                break; // short body: torn frame
+            }
+            let payload = &bytes[off + 16..end];
+            if fnv64(payload) != stored {
+                break; // bit rot or torn write inside the frame
+            }
+            let Ok(record) = parse_payload(payload) else {
+                break; // checksum passed but layout didn't — treat as torn
+            };
+            records.push(record);
+            off = end;
+            intact_end = off;
+        }
+        if intact_end < bytes.len() {
+            // Everything past the last intact frame was never acked (the
+            // ack follows the durable append) — drop it.
+            crate::metrics::store().wal_torn_tail.inc();
+            wal.file
+                .set_len(intact_end as u64)
+                .map_err(|e| io_err(&path, e))?;
+        }
+        wal.file
+            .seek(SeekFrom::Start(intact_end as u64))
+            .map_err(|e| io_err(&path, e))?;
+        wal.pending = records.len();
+        crate::metrics::store()
+            .wal_replayed
+            .add(records.len() as u64);
+        Ok((wal, records))
+    }
+
+    /// Journal one append **durably** (write + fsync under
+    /// [`Durability::Durable`]). Only after this returns may the batch
+    /// be acknowledged. Errors poison the writer: the on-disk tail is no
+    /// longer trusted, so every later append fails until a reopen.
+    pub fn append(&mut self, key: &str, batch: &[Vec<u32>]) -> Result<(), QueryError> {
+        let _span = cinct_obs::Span::enter(&crate::metrics::store().wal_append_ns);
+        if self.poisoned {
+            return Err(QueryError::Io(format!(
+                "{}: WAL poisoned by an earlier write failure; reopen to recover",
+                self.path.display()
+            )));
+        }
+        let mut payload: Vec<u8> = Vec::new();
+        let w = &mut payload as &mut dyn std::io::Write;
+        key.as_bytes().to_vec().persist(w)?;
+        write_usize(w, batch.len())?;
+        for traj in batch {
+            traj.persist(w)?;
+        }
+        let mut frame = Vec::with_capacity(16 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if let Err(e) = faultio::append_file(&mut self.file, &frame) {
+            self.poisoned = true;
+            return Err(io_err(&self.path, e));
+        }
+        if self.durability == Durability::Durable {
+            if let Err(e) = faultio::sync_file(&self.file) {
+                self.poisoned = true;
+                return Err(fsync_err(&self.path, e));
+            }
+        }
+        self.pending += 1;
+        crate::metrics::store().wal_appends.inc();
+        Ok(())
+    }
+
+    /// Drop every journaled record (a successful `save_dir` has made
+    /// them redundant): truncate back to the header, durably.
+    pub fn truncate(&mut self) -> Result<(), QueryError> {
+        if let Err(e) = faultio::truncate_file(&mut self.file, HEADER_LEN) {
+            self.poisoned = true;
+            return Err(io_err(&self.path, e));
+        }
+        if self.durability == Durability::Durable {
+            if let Err(e) = faultio::sync_file(&self.file) {
+                self.poisoned = true;
+                return Err(fsync_err(&self.path, e));
+            }
+        }
+        self.pending = 0;
+        self.poisoned = false;
+        crate::metrics::store().wal_truncations.inc();
+        Ok(())
+    }
+
+    /// Records currently journaled but not yet folded into a manifest.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &FsPath {
+        &self.path
+    }
+}
+
+fn parse_payload(payload: &[u8]) -> Result<WalRecord, QueryError> {
+    let mut cur = Cursor::new(payload);
+    let r = &mut cur as &mut dyn std::io::Read;
+    let key_bytes: Vec<u8> = Persist::restore(r)?;
+    let key = String::from_utf8(key_bytes)
+        .map_err(|_| QueryError::CorruptIndex("WAL record key is not UTF-8".into()))?;
+    let n = read_usize(r)?;
+    let mut batch = Vec::with_capacity(n.min(payload.len()));
+    for _ in 0..n {
+        batch.push(Persist::restore(r)?);
+    }
+    Ok(WalRecord { key, batch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cinct-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_truncate() {
+        let dir = scratch("roundtrip");
+        let (mut wal, records) = Wal::open(&dir, Durability::Durable).unwrap();
+        assert!(records.is_empty());
+        wal.append("k1", &[vec![0, 1, 2], vec![3]]).unwrap();
+        wal.append("", &[vec![4, 5]]).unwrap();
+        assert_eq!(wal.pending(), 2);
+        drop(wal);
+        let (mut wal, records) = Wal::open(&dir, Durability::Durable).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord {
+                    key: "k1".into(),
+                    batch: vec![vec![0, 1, 2], vec![3]],
+                },
+                WalRecord {
+                    key: "".into(),
+                    batch: vec![vec![4, 5]],
+                },
+            ]
+        );
+        wal.truncate().unwrap();
+        drop(wal);
+        let (_, records) = Wal::open(&dir, Durability::Durable).unwrap();
+        assert!(records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = scratch("torn");
+        let (mut wal, _) = Wal::open(&dir, Durability::Fast).unwrap();
+        wal.append("a", &[vec![1, 2]]).unwrap();
+        wal.append("b", &[vec![3, 4]]).unwrap();
+        drop(wal);
+        // Chop mid-way through the second frame.
+        let path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, records) = Wal::open(&dir, Durability::Fast).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, "a");
+        // The torn bytes are gone from disk too.
+        assert!(std::fs::read(&path).unwrap().len() < bytes.len() - 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_recovery_at_last_intact_frame() {
+        let dir = scratch("rot");
+        let (mut wal, _) = Wal::open(&dir, Durability::Fast).unwrap();
+        wal.append("a", &[vec![1, 2]]).unwrap();
+        wal.append("b", &[vec![3, 4]]).unwrap();
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x04; // bit rot inside the second frame's payload
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records) = Wal::open(&dir, Durability::Fast).unwrap();
+        assert_eq!(records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_is_corrupt_index() {
+        let dir = scratch("hdr");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(WAL_FILE), b"garbage!").unwrap();
+        match Wal::open(&dir, Durability::Fast) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! The crash matrix: drive a simulated crash through **every**
+//! fault-injection point in `save_dir` and the WAL append path, reopen,
+//! and assert the directory holds exactly the pre-save or the post-save
+//! corpus — never a mix, never an unopenable state.
+//!
+//! Plus the rest of the failure menagerie: fsync/rename failures, bit
+//! rot with strict vs resilient opens, quarantine semantics, and the
+//! `*.tmp` sweep.
+
+use cinct::faultio::{self, Fault};
+use cinct::store::MANIFEST_FILE;
+use cinct::{Durability, OpenMode, Path, PathQuery, QueryError, ShardedBuilder, ShardedCinct, Wal};
+
+fn paper_trajs() -> Vec<Vec<u32>> {
+    vec![vec![0, 1, 4, 5], vec![0, 1, 2], vec![1, 2], vec![0, 3]]
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("cinct-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn build_sharded() -> ShardedCinct {
+    ShardedBuilder::new()
+        .shards(3)
+        .locate_sampling(2)
+        .build(&paper_trajs(), 6)
+}
+
+/// Everything observable about a corpus, for exact old-vs-new compares.
+fn fingerprint(c: &ShardedCinct) -> (usize, Vec<Vec<u32>>, usize, usize) {
+    let trajs: Vec<Vec<u32>> = (0..c.num_trajectories()).map(|g| c.trajectory(g)).collect();
+    (
+        c.num_trajectories(),
+        trajs,
+        c.count(Path::new(&[0, 1])),
+        c.count(Path::new(&[1, 2])),
+    )
+}
+
+/// Fresh "old saved, new in memory" state for one crash-matrix run.
+/// Deterministic: every call produces byte-identical directories, so the
+/// injection-point count from the Observe run holds for every crash run.
+fn setup(tag: &str, run: usize) -> (std::path::PathBuf, ShardedCinct, ShardedCinct) {
+    let dir = scratch(&format!("{tag}-{run}"));
+    let old = build_sharded();
+    old.save_dir(&dir).unwrap();
+    let mut new = old.clone();
+    new.append_batch(&[vec![1, 2, 5], vec![0, 1]]).unwrap();
+    // Compaction rewrites every shard file, maximizing injection points.
+    new.compact(2).unwrap();
+    (dir, old, new)
+}
+
+#[test]
+fn crash_matrix_save_dir_yields_exactly_old_or_new() {
+    // Enumerate the injection points of this save shape once.
+    let (dir, _, new) = setup("save-observe", 0);
+    faultio::arm(Fault::Observe);
+    new.save_dir(&dir).unwrap();
+    let total_ops = faultio::disarm().unwrap().ops;
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(
+        total_ops >= 8,
+        "suspiciously few injection points: {total_ops}"
+    );
+
+    for torn in [false, true] {
+        let mut saw_old = false;
+        let mut saw_new = false;
+        for at in 0..total_ops {
+            let (dir, old, new) = setup("save-crash", at * 2 + torn as usize);
+            let old_fp = fingerprint(&old);
+            let new_fp = fingerprint(&new);
+            faultio::arm(Fault::CrashAt { at, torn });
+            let err = new.save_dir(&dir);
+            let report = faultio::disarm().unwrap();
+            assert!(err.is_err(), "crash at op {at} did not surface");
+            assert!(report.fired, "op {at} never reached (total {total_ops})");
+            // The reopened directory is exactly one of the two corpora.
+            let back = ShardedCinct::open_dir(&dir)
+                .unwrap_or_else(|e| panic!("unopenable after crash at op {at} (torn={torn}): {e}"));
+            let got = fingerprint(&back);
+            if got == old_fp {
+                saw_old = true;
+            } else if got == new_fp {
+                saw_new = true;
+            } else {
+                panic!("crash at op {at} (torn={torn}) left a mixed corpus");
+            }
+            // The open also swept every crashed .tmp sibling.
+            for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                assert!(!name.ends_with(".tmp"), "{name} survived the sweep");
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        // The commit point partitions the matrix: early crashes keep the
+        // old corpus, a crash after the manifest rename keeps the new.
+        assert!(
+            saw_old,
+            "no crash point preserved the old corpus (torn={torn})"
+        );
+        assert!(
+            saw_new,
+            "no crash point yielded the new corpus (torn={torn})"
+        );
+    }
+}
+
+#[test]
+fn crash_matrix_wal_append_recovers_a_clean_acked_prefix() {
+    let batches: Vec<Vec<Vec<u32>>> = vec![
+        vec![vec![0, 1, 2], vec![3]],
+        vec![vec![4, 5]],
+        vec![vec![0, 3], vec![1, 2], vec![2, 1]],
+    ];
+    // Observe one full open + append run.
+    let dir = scratch("wal-observe");
+    faultio::arm(Fault::Observe);
+    let (mut wal, _) = Wal::open(&dir, Durability::Durable).unwrap();
+    for (i, b) in batches.iter().enumerate() {
+        wal.append(&format!("k{i}"), b).unwrap();
+    }
+    let total_ops = faultio::disarm().unwrap().ops;
+    drop(wal);
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(
+        total_ops >= 6,
+        "suspiciously few WAL injection points: {total_ops}"
+    );
+
+    for torn in [false, true] {
+        for at in 0..total_ops {
+            let dir = scratch(&format!("wal-crash-{at}-{torn}"));
+            faultio::arm(Fault::CrashAt { at, torn });
+            let mut acked = 0usize;
+            if let Ok((mut wal, _)) = Wal::open(&dir, Durability::Durable) {
+                for (i, b) in batches.iter().enumerate() {
+                    match wal.append(&format!("k{i}"), b) {
+                        Ok(()) => acked += 1,
+                        Err(_) => break,
+                    }
+                }
+            }
+            faultio::disarm().unwrap();
+            // Recovery: an intact prefix, covering at least every acked
+            // append (a crashed-after-write, pre-ack record may ride
+            // along — idempotency keys make replaying it harmless).
+            let (_, records) = Wal::open(&dir, Durability::Durable)
+                .unwrap_or_else(|e| panic!("WAL unopenable after crash at op {at}: {e}"));
+            assert!(
+                records.len() >= acked,
+                "crash at op {at} (torn={torn}): {acked} acked but only {} recovered",
+                records.len()
+            );
+            for (i, rec) in records.iter().enumerate() {
+                assert_eq!(rec.key, format!("k{i}"), "crash at op {at}");
+                assert_eq!(rec.batch, batches[i], "crash at op {at}");
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn fsync_failure_fails_the_save_and_keeps_the_old_corpus() {
+    let (dir, old, new) = setup("fsync", 9000);
+    faultio::arm(Fault::FsyncError);
+    assert!(new.save_dir(&dir).is_err());
+    assert!(faultio::disarm().unwrap().fired);
+    let back = ShardedCinct::open_dir(&dir).unwrap();
+    assert_eq!(fingerprint(&back), fingerprint(&old));
+    // The Fast durability knob skips fsync entirely: the same fault plan
+    // never fires and the save lands.
+    faultio::arm(Fault::FsyncError);
+    new.save_dir_with(&dir, Durability::Fast).unwrap();
+    assert!(!faultio::disarm().unwrap().fired);
+    let back = ShardedCinct::open_dir(&dir).unwrap();
+    assert_eq!(fingerprint(&back), fingerprint(&new));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rename_failure_fails_the_save_and_keeps_the_old_corpus() {
+    let (dir, old, new) = setup("rename", 9001);
+    faultio::arm(Fault::RenameError);
+    assert!(new.save_dir(&dir).is_err());
+    assert!(faultio::disarm().unwrap().fired);
+    let back = ShardedCinct::open_dir(&dir).unwrap();
+    assert_eq!(fingerprint(&back), fingerprint(&old));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Shard files currently in `dir`, sorted by shard slot.
+fn shard_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            let n = p.file_name().unwrap().to_string_lossy().into_owned();
+            n.starts_with("shard-") && n.ends_with(".cinct")
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn resilient_open_quarantines_a_bit_rotted_shard_and_serves_the_rest() {
+    let dir = scratch("quarantine");
+    let full = build_sharded();
+    full.save_dir(&dir).unwrap();
+    let victim = shard_files(&dir).remove(1);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // Strict (the default) still fails fast.
+    assert!(matches!(
+        ShardedCinct::open_dir(&dir),
+        Err(QueryError::CorruptIndex(_))
+    ));
+
+    let back = ShardedCinct::open_dir_with(&dir, OpenMode::Resilient).unwrap();
+    assert!(back.is_degraded());
+    assert_eq!(back.quarantined().len(), 1);
+    let q = &back.quarantined()[0];
+    assert_eq!(q.slot, 1);
+    assert!(q.reason.contains("checksum"), "{}", q.reason);
+    assert_eq!(q.trajectories, full.shard_globals(1).len());
+
+    // The namespace is preserved; the quarantined IDs read as absent,
+    // everything else answers exactly as before.
+    assert_eq!(back.num_trajectories(), full.num_trajectories());
+    let lost: Vec<usize> = full.shard_globals(1).iter().map(|&g| g as usize).collect();
+    for g in 0..full.num_trajectories() {
+        if lost.contains(&g) {
+            assert!(!back.trajectory_available(g));
+            assert!(matches!(
+                back.try_trajectory(g),
+                Err(QueryError::CorruptIndex(_))
+            ));
+        } else {
+            assert!(back.trajectory_available(g));
+            assert_eq!(back.try_trajectory(g).unwrap(), full.trajectory(g), "g={g}");
+        }
+    }
+    // Counts equal brute force over the surviving trajectories.
+    for probe in [vec![0u32], vec![0, 1], vec![1, 2]] {
+        let expect: usize = (0..full.num_trajectories())
+            .filter(|g| !lost.contains(g))
+            .map(|g| {
+                let t = full.trajectory(g);
+                t.windows(probe.len()).filter(|w| *w == probe).count()
+            })
+            .sum();
+        assert_eq!(back.count(Path::new(&probe)), expect, "probe {probe:?}");
+    }
+    // Occurrence listing still reports *global* IDs for loaded shards.
+    for (g, _) in back.occurrences(Path::new(&[0])).unwrap().collect_sorted() {
+        assert!(!lost.contains(&g));
+    }
+
+    // A degraded corpus refuses to persist or compact itself — that
+    // would silently turn quarantine into deletion.
+    let mut back = back;
+    assert!(matches!(
+        back.save_dir(&dir),
+        Err(QueryError::InvalidInput(_))
+    ));
+    assert!(matches!(back.compact(2), Err(QueryError::InvalidInput(_))));
+    // But appends still land: new IDs continue after the full namespace.
+    let range = back.append_batch(&[vec![2, 1]]).unwrap();
+    assert_eq!(range, 4..5);
+    assert_eq!(back.try_trajectory(4).unwrap(), vec![2, 1]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resilient_open_quarantines_a_missing_shard_file() {
+    let dir = scratch("quarantine-missing");
+    build_sharded().save_dir(&dir).unwrap();
+    std::fs::remove_file(shard_files(&dir).remove(0)).unwrap();
+    let back = ShardedCinct::open_dir_with(&dir, OpenMode::Resilient).unwrap();
+    assert!(back.is_degraded());
+    assert_eq!(back.quarantined()[0].slot, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resilient_open_still_fails_on_manifest_damage() {
+    // Without a trustworthy manifest there is nothing to resiliently
+    // serve — manifest corruption stays fatal in both modes.
+    let dir = scratch("manifest-fatal");
+    build_sharded().save_dir(&dir).unwrap();
+    let mpath = dir.join(MANIFEST_FILE);
+    let mut bytes = std::fs::read(&mpath).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&mpath, &bytes).unwrap();
+    assert!(ShardedCinct::open_dir_with(&dir, OpenMode::Resilient).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_dir_sweeps_crash_leftover_tmp_files() {
+    let dir = scratch("sweep");
+    build_sharded().save_dir(&dir).unwrap();
+    std::fs::write(dir.join("shard-99999-dead.tmp"), b"half a save").unwrap();
+    std::fs::write(dir.join("manifest.tmp"), b"half a manifest").unwrap();
+    ShardedCinct::open_dir(&dir).unwrap();
+    assert!(!dir.join("shard-99999-dead.tmp").exists());
+    assert!(!dir.join("manifest.tmp").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -71,11 +71,18 @@ fn usage() -> ExitCode {
   cinct get <index> <trajectory-id>
   cinct serve <index-dir> [--addr HOST:PORT] [--workers N] [--queue N]
               [--deadline-ms MS] [--cache N] [--fan-out N] [--max-body BYTES]
-              [--no-save]                     serve the sharded directory over
+              [--no-save] [--resilient]       serve the sharded directory over
                                             HTTP/1.1 + JSON; 0 = auto on the
                                             thread knobs; POST /admin/shutdown
                                             drains gracefully and (unless
-                                            --no-save) persists served appends"
+                                            --no-save) persists served appends.
+                                            Appends journal to a write-ahead
+                                            log before acking and replay on
+                                            restart (--no-save disables the
+                                            WAL too). --resilient opens the
+                                            corpus even when shards fail
+                                            verification, quarantining them
+                                            and serving degraded"
     );
     ExitCode::from(2)
 }
@@ -491,6 +498,7 @@ fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
     let mut cfg = ServeConfig::default();
     let mut addr = String::from("127.0.0.1:8080");
     let mut save_on_drain = true;
+    let mut resilient = false;
     let mut i = 0;
     let parse_usize = |flags: &[String], i: usize, what: &str| -> Result<usize, String> {
         flags
@@ -537,12 +545,42 @@ fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
                 save_on_drain = false;
                 i += 1;
             }
+            "--resilient" => {
+                resilient = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    let sharded = load_sharded(index_dir)?;
-    let server =
-        Server::bind(addr.as_str(), sharded, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    let mode = if resilient {
+        cinct::OpenMode::Resilient
+    } else {
+        cinct::OpenMode::Strict
+    };
+    let sharded = ShardedCinct::open_dir_with(index_dir, mode)
+        .map_err(|e| format!("load {index_dir}: {e}"))?;
+    for q in sharded.quarantined() {
+        eprintln!(
+            "warning: quarantined shard {} ({}, {} trajectories): {}",
+            q.slot, q.file, q.trajectories, q.reason
+        );
+    }
+    // `--no-save` means "this process never writes the corpus dir" — so
+    // no WAL either. Otherwise every acked append survives kill -9.
+    let server = if save_on_drain {
+        let (wal, replay) = cinct::Wal::open(index_dir, cinct::Durability::Durable)
+            .map_err(|e| format!("open WAL in {index_dir}: {e}"))?;
+        if !replay.is_empty() {
+            eprintln!(
+                "replaying {} journaled append batch(es) from the write-ahead log",
+                replay.len()
+            );
+        }
+        Server::bind_durable(addr.as_str(), sharded, cfg, wal, replay)
+    } else {
+        Server::bind(addr.as_str(), sharded, cfg)
+    }
+    .map_err(|e| format!("bind {addr}: {e}"))?;
     let handle = server.handle();
     let rc = handle.config();
     eprintln!(
@@ -562,7 +600,18 @@ fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
     );
     server.run().map_err(|e| e.to_string())?;
     let appends = handle.service().epoch();
-    if save_on_drain && appends > 0 {
+    let wal_pending = handle.service().stats().wal_pending;
+    if save_on_drain && handle.service().degraded() {
+        // A degraded save would drop the quarantined shards' data from
+        // the manifest for good. Acked appends are safe in the WAL and
+        // replay on the next start.
+        eprintln!(
+            "drained; NOT persisting a degraded corpus ({} quarantined shard(s)); \
+             {} journaled append batch(es) remain in the WAL for replay",
+            handle.service().quarantined().len(),
+            wal_pending,
+        );
+    } else if save_on_drain && (appends > 0 || wal_pending > 0) {
         handle
             .service()
             .save_dir(std::path::Path::new(index_dir))

@@ -2,41 +2,127 @@
 //! persistent keep-alive connection, `Content-Length` bodies only —
 //! the exact subset the server speaks. Shared by the integration
 //! tests, the `servepath` bench, the CI smoke client, and examples.
+//!
+//! [`Client::connect`] keeps the historical single-attempt semantics.
+//! [`Client::connect_with`] installs a [`RetryPolicy`]: a per-request
+//! timeout, bounded reconnect-and-retry on IO failures, and retry on
+//! `429`/`503` honoring `Retry-After` — with jittered exponential
+//! backoff between attempts. Retries only fire for requests the caller
+//! marks idempotent; [`Client::append_idempotent`] makes appends safe
+//! to mark by attaching an `Idempotency-Key` the server deduplicates.
 
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::json::Json;
+use crate::metrics;
+
+/// Retry/timeout knobs for [`Client::connect_with`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (also caps an honored `Retry-After`).
+    pub max_backoff: Duration,
+    /// Connect and per-read timeout for every attempt.
+    pub timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Single-attempt policy: the pre-retry client behavior.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
 
 /// A persistent connection to a serve endpoint.
 pub struct Client {
     reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    /// A request that died mid-flight leaves the connection in an
+    /// unknown framing state; the next attempt must reconnect.
+    dirty: bool,
+    /// Backoff-jitter state (xorshift64, seeded from the process's
+    /// hash randomness — no clock or RNG dependency).
+    jitter: u64,
 }
 
 impl Client {
-    /// Connect (with a 5s connect/read timeout).
+    /// Connect (with a 5s connect/read timeout). No retries: exactly
+    /// one attempt per request, IO errors surface to the caller.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Self::connect_with(addr, RetryPolicy::none())
+    }
+
+    /// Connect under a [`RetryPolicy`]. The connect itself gets the
+    /// policy's attempt budget and backoff, like every later request.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<Client> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
-        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        stream.set_nodelay(true)?;
+        let mut jitter = RandomState::new().build_hasher().finish() | 1;
+        let mut attempt = 0u32;
+        let reader = loop {
+            attempt += 1;
+            match Self::dial(&addr, policy.timeout) {
+                Ok(r) => break r,
+                Err(e) => {
+                    if attempt >= policy.attempts.max(1) {
+                        return Err(e);
+                    }
+                    metrics::serve().client_retries.inc();
+                    std::thread::sleep(backoff_for(&policy, attempt, None, &mut jitter));
+                }
+            }
+        };
         Ok(Client {
-            reader: BufReader::new(stream),
+            reader,
+            addr,
+            policy,
+            dirty: false,
+            jitter,
         })
     }
 
-    /// Issue `GET target`; returns `(status, body)`.
-    pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
-        self.request("GET", target, None)
+    fn dial(addr: &SocketAddr, timeout: Duration) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
     }
 
-    /// Issue `POST target` with a JSON string body.
+    /// Issue `GET target`; returns `(status, body)`. GETs are
+    /// idempotent, so the retry policy applies.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
+        self.request_opts("GET", target, None, None, true)
+    }
+
+    /// Issue `POST target` with a JSON string body. Never retried — a
+    /// bare POST is not idempotent; see [`Client::append_idempotent`]
+    /// for the retry-safe write path.
     pub fn post(&mut self, target: &str, body: &str) -> io::Result<(u16, String)> {
-        self.request("POST", target, Some(body))
+        self.request_opts("POST", target, Some(body), None, false)
     }
 
     /// `POST` a [`Json`] body, parse the JSON response.
@@ -47,27 +133,103 @@ impl Client {
         Ok((status, parsed))
     }
 
-    /// One request/response cycle on the persistent connection.
+    /// `POST /v1/append` carrying an `Idempotency-Key`: the server
+    /// applies the batch exactly once per key, which is what makes
+    /// retrying a write safe — a retry whose original attempt actually
+    /// landed is acked with the original assignment, `deduplicated:
+    /// true`, instead of appending twice.
+    pub fn append_idempotent(&mut self, body: &Json, key: &str) -> io::Result<(u16, Json)> {
+        let rendered = body.render();
+        let (status, text) =
+            self.request_opts("POST", "/v1/append", Some(&rendered), Some(key), true)?;
+        let parsed = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {text}")))?;
+        Ok((status, parsed))
+    }
+
+    /// One request/response cycle on the persistent connection, no
+    /// retries (the historical behavior, kept for callers that do
+    /// their own error handling).
     pub fn request(
         &mut self,
         method: &str,
         target: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        self.request_opts(method, target, body, None, false)
+    }
+
+    /// The full request path: attempt, classify, back off, retry.
+    ///
+    /// Retries fire only when `idempotent` — on IO errors (connection
+    /// reset, timeout; the next attempt reconnects) and on `429`/`503`
+    /// (honoring `Retry-After` up to the backoff ceiling). Everything
+    /// else, including 4xx and 5xx like `corrupt_index`, returns
+    /// immediately: those answers won't improve by asking again.
+    fn request_opts(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+        idempotency_key: Option<&str>,
+        idempotent: bool,
+    ) -> io::Result<(u16, String)> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = self.try_request(method, target, body, idempotency_key);
+            let (retryable, retry_after) = match &outcome {
+                Err(_) => (true, None),
+                Ok((429 | 503, _, retry_after)) => (true, *retry_after),
+                Ok(_) => (false, None),
+            };
+            if !retryable || !idempotent || attempt >= self.policy.attempts.max(1) {
+                return outcome.map(|(status, text, _)| (status, text));
+            }
+            metrics::serve().client_retries.inc();
+            std::thread::sleep(backoff_for(
+                &self.policy,
+                attempt,
+                retry_after,
+                &mut self.jitter,
+            ));
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+        idempotency_key: Option<&str>,
+    ) -> io::Result<(u16, String, Option<u64>)> {
+        if self.dirty {
+            self.reader = Self::dial(&self.addr, self.policy.timeout)?;
+        }
+        // Dirty until a complete response comes back: a failure
+        // anywhere in between leaves unknown bytes in flight, so the
+        // next attempt starts from a fresh connection.
+        self.dirty = true;
         {
             let stream = self.reader.get_mut();
+            let key_header = match idempotency_key {
+                Some(k) => format!("Idempotency-Key: {k}\r\n"),
+                None => String::new(),
+            };
             match body {
                 Some(b) => write!(
                     stream,
                     "{method} {target} HTTP/1.1\r\nContent-Type: application/json\r\n\
-                     Content-Length: {}\r\n\r\n{b}",
+                     {key_header}Content-Length: {}\r\n\r\n{b}",
                     b.len()
                 )?,
-                None => write!(stream, "{method} {target} HTTP/1.1\r\n\r\n")?,
+                None => write!(stream, "{method} {target} HTTP/1.1\r\n{key_header}\r\n")?,
             }
             stream.flush()?;
         }
-        self.read_response()
+        let resp = self.read_response_full()?;
+        self.dirty = false;
+        Ok(resp)
     }
 
     /// Send raw bytes down the connection (tests exercising truncated
@@ -80,6 +242,13 @@ impl Client {
 
     /// Read one response off the connection.
     pub fn read_response(&mut self) -> io::Result<(u16, String)> {
+        self.read_response_full()
+            .map(|(status, text, _)| (status, text))
+    }
+
+    /// [`Client::read_response`] plus the parsed `Retry-After` header
+    /// (seconds), which the retry loop honors on 429/503.
+    fn read_response_full(&mut self) -> io::Result<(u16, String, Option<u64>)> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
@@ -98,6 +267,7 @@ impl Client {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -115,13 +285,39 @@ impl Client {
                     content_length = value.trim().parse().map_err(|_| {
                         io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                     })?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse::<u64>().ok();
                 }
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|text| (status, text))
+            .map(|text| (status, text, retry_after))
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
     }
+}
+
+/// Backoff before retry `attempt` (1-based): exponential from the
+/// policy base, capped at the ceiling, stretched to an honored
+/// `Retry-After`, then jittered into `[wait/2, wait]` so a thundering
+/// herd of clients doesn't re-arrive in lockstep.
+fn backoff_for(
+    policy: &RetryPolicy,
+    attempt: u32,
+    retry_after_secs: Option<u64>,
+    jitter: &mut u64,
+) -> Duration {
+    let exp = policy
+        .base_backoff
+        .saturating_mul(1u32 << (attempt - 1).min(16));
+    let mut wait = exp.min(policy.max_backoff);
+    if let Some(secs) = retry_after_secs {
+        wait = wait.max(Duration::from_secs(secs).min(policy.max_backoff));
+    }
+    *jitter ^= *jitter << 13;
+    *jitter ^= *jitter >> 7;
+    *jitter ^= *jitter << 17;
+    let nanos = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+    Duration::from_nanos(nanos / 2 + *jitter % (nanos / 2 + 1))
 }

@@ -58,8 +58,20 @@
 //! | [`cache`]   | sharded LRU keyed by `(op, path)`, epoch-stamped against appends |
 //! | [`http`]    | hand-rolled HTTP/1.1 subset: obs-fold headers, pipelining, typed 4xx errors |
 //! | [`json`]    | minimal JSON parser/renderer for the wire protocol |
-//! | [`client`]  | blocking keep-alive client for tests, benches, smoke checks |
+//! | [`client`]  | blocking keep-alive client: timeouts, jittered retry/backoff, idempotent appends |
 //! | [`metrics`] | the `cinct_serve_*` metric catalog |
+//!
+//! # Durability
+//!
+//! [`Server::bind_durable`] adds a write-ahead log to the append path:
+//! each `/v1/append` batch is journaled and fsynced (see [`cinct::Wal`])
+//! *before* it is acked, and replayed into the corpus on restart — an
+//! acked write survives `kill -9`. Appends may carry an
+//! `Idempotency-Key` (or `"key"` body member); the server applies each
+//! key exactly once, so [`Client::append_idempotent`] can retry writes
+//! safely. A corpus opened with [`cinct::OpenMode::Resilient`] serves
+//! in degraded mode: `/healthz` says `degraded`, and every query
+//! response carries `degraded: true` plus the quarantined-shard report.
 //!
 //! The load-bearing invariant, proven by tests at each layer: **a
 //! served answer is outcome-identical to a direct [`cinct::PathQuery`]
@@ -78,6 +90,6 @@ pub mod server;
 pub mod service;
 
 pub use cache::{CacheOp, CachedValue, QueryCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use server::{ResolvedConfig, ServeConfig, Server, ServerHandle};
 pub use service::{AppendOutcome, CorpusService, ServiceStats};

@@ -48,6 +48,15 @@ pub struct ServeMetrics {
     pub workers: Arc<Gauge>,
     /// Per-query fan-out threads the corpus was pinned to at start.
     pub fan_out_threads: Arc<Gauge>,
+    /// Appends answered from the idempotency registry (retried writes
+    /// deduplicated instead of re-applied).
+    pub idem_hits: Arc<Counter>,
+    /// 1 while serving a degraded corpus (quarantined shards), else 0.
+    pub degraded: Arc<Gauge>,
+    /// HTTP client retries (reconnects after IO errors or retryable
+    /// statuses). Lives in the serve catalog so server and client
+    /// processes share one registry.
+    pub client_retries: Arc<Counter>,
 }
 
 /// Serving metric handles (resolved once, then lock-free).
@@ -108,6 +117,18 @@ pub fn serve() -> &'static ServeMetrics {
             fan_out_threads: r.gauge(
                 "cinct_serve_fan_out_threads",
                 "Per-query shard fan-out threads pinned at server start",
+            ),
+            idem_hits: r.counter(
+                "cinct_serve_idempotent_hits_total",
+                "Appends deduplicated by idempotency key",
+            ),
+            degraded: r.gauge(
+                "cinct_serve_degraded",
+                "1 while serving a degraded (quarantined-shard) corpus, else 0",
+            ),
+            client_retries: r.counter(
+                "cinct_client_retries_total",
+                "HTTP client retries after IO errors or retryable statuses",
             ),
         }
     })

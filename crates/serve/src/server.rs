@@ -44,7 +44,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use std::{io, thread};
 
-use cinct::{QueryError, ShardedCinct};
+use cinct::{QueryError, ShardedCinct, Wal, WalRecord};
 
 use crate::http::{self, Limits, NextRequest, Request, Response};
 use crate::json::{self, obj, obj_move, Json};
@@ -226,8 +226,33 @@ impl Server {
     /// query can run.
     pub fn bind(
         addr: impl ToSocketAddrs,
+        corpus: ShardedCinct,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        Self::bind_inner(addr, corpus, cfg, None)
+    }
+
+    /// [`Server::bind`] with a write-ahead log: `replay` (recovered by
+    /// [`Wal::open`]) is re-applied to the corpus before the listener
+    /// accepts anything, and every `/v1/append` is then journaled +
+    /// fsynced before it is acked. A replay failure aborts the bind —
+    /// serving a corpus that silently dropped acked writes is worse
+    /// than not starting.
+    pub fn bind_durable(
+        addr: impl ToSocketAddrs,
+        corpus: ShardedCinct,
+        cfg: ServeConfig,
+        wal: Wal,
+        replay: Vec<WalRecord>,
+    ) -> io::Result<Server> {
+        Self::bind_inner(addr, corpus, cfg, Some((wal, replay)))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
         mut corpus: ShardedCinct,
         cfg: ServeConfig,
+        durable: Option<(Wal, Vec<WalRecord>)>,
     ) -> io::Result<Server> {
         let resolved = cfg.resolve();
         corpus.set_fan_out_threads(resolved.fan_out_threads);
@@ -238,7 +263,17 @@ impl Server {
         m.workers.set(resolved.workers as u64);
         m.fan_out_threads.set(resolved.fan_out_threads as u64);
         m.draining.set(0);
-        let service = CorpusService::new(corpus, resolved.cache_capacity, resolved.cache_shards);
+        let service = match durable {
+            Some((wal, replay)) => CorpusService::new_durable(
+                corpus,
+                resolved.cache_capacity,
+                resolved.cache_shards,
+                wal,
+                replay,
+            )
+            .map_err(|e| io::Error::other(format!("WAL replay failed: {e}")))?,
+            None => CorpusService::new(corpus, resolved.cache_capacity, resolved.cache_shards),
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -380,7 +415,21 @@ fn dispatch(state: &ServerState, req: &Request, started: Instant) -> Response {
         "/v1/append",
     ];
     match (req.method.as_str(), req.target.as_str()) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        // Health is one word, most-degraded-wins: a draining server is
+        // about to disappear (stop routing to it), a degraded one
+        // serves but with shards quarantined, `ok` means the whole
+        // corpus is live. Always 200: every state still answers
+        // queries, and probes distinguish by body, not status.
+        ("GET", "/healthz") => {
+            let body = if state.draining() {
+                "draining\n"
+            } else if state.service.degraded() {
+                "degraded\n"
+            } else {
+                "ok\n"
+            };
+            Response::text(200, body)
+        }
         ("GET", "/metrics") => {
             metrics::register_all();
             Response::text(200, &cinct_obs::global().render_prometheus())
@@ -408,10 +457,37 @@ fn dispatch(state: &ServerState, req: &Request, started: Instant) -> Response {
     }
 }
 
+/// The quarantine report, serialized once per degraded response.
+fn quarantine_json(svc: &CorpusService) -> Json {
+    Json::Arr(
+        svc.quarantined()
+            .iter()
+            .map(|q| {
+                obj(&[
+                    ("slot", q.slot.into()),
+                    ("file", q.file.as_str().into()),
+                    ("trajectories", q.trajectories.into()),
+                    ("reason", q.reason.as_str().into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Append `degraded: true` + the quarantine report to a response body
+/// when (and only when) the corpus is degraded — healthy responses stay
+/// byte-identical to what they were before resilient opening existed.
+fn push_degraded_fields(svc: &CorpusService, fields: &mut Vec<(&'static str, Json)>) {
+    if svc.degraded() {
+        fields.push(("degraded", true.into()));
+        fields.push(("quarantined", quarantine_json(svc)));
+    }
+}
+
 fn stats_response(state: &ServerState) -> Response {
     let s = state.service.stats();
     let cfg = &state.cfg;
-    let body = obj(&[
+    let mut fields = vec![
         ("kind", "sharded".into()),
         ("shards", s.shards.into()),
         ("trajectories", s.trajectories.into()),
@@ -427,12 +503,20 @@ fn stats_response(state: &ServerState) -> Response {
                 ("capacity", s.cache_capacity.into()),
             ]),
         ),
+        (
+            "wal",
+            obj(&[
+                ("enabled", s.wal_enabled.into()),
+                ("pending", s.wal_pending.into()),
+            ]),
+        ),
         ("workers", cfg.workers.into()),
         ("fan_out_threads", s.fan_out_threads.into()),
         ("host_parallelism", cfg.host_parallelism.into()),
         ("draining", state.draining().into()),
-    ]);
-    Response::json(200, &body)
+    ];
+    push_degraded_fields(&state.service, &mut fields);
+    Response::json(200, &obj_move(fields))
 }
 
 fn handle_api(state: &ServerState, target: &str, req: &Request, started: Instant) -> Response {
@@ -469,7 +553,7 @@ fn handle_api(state: &ServerState, target: &str, req: &Request, started: Instant
             if target == "/v1/extract" {
                 handle_extract(state, &body)
             } else {
-                handle_append(state, &body)
+                handle_append(state, req, &body)
             }
         }
         _ => unreachable!("routed above"),
@@ -603,15 +687,14 @@ fn handle_count(
     match spec {
         PathSpec::One(path) => {
             let (n, cached) = svc.count(&path, cache)?;
-            Ok(Response::json(
-                200,
-                &obj(&[
-                    ("count", n.into()),
-                    ("cached", cached.into()),
-                    ("epoch", svc.epoch().into()),
-                    ("elapsed_ns", elapsed_ns(started)),
-                ]),
-            ))
+            let mut fields = vec![
+                ("count", n.into()),
+                ("cached", cached.into()),
+                ("epoch", svc.epoch().into()),
+                ("elapsed_ns", elapsed_ns(started)),
+            ];
+            push_degraded_fields(svc, &mut fields);
+            Ok(Response::json(200, &obj_move(fields)))
         }
         PathSpec::Many(paths) => {
             let mut counts = Vec::with_capacity(paths.len());
@@ -626,15 +709,14 @@ fn handle_count(
                 counts.append(&mut ns);
                 hits += h;
             }
-            Ok(Response::json(
-                200,
-                &obj_move(vec![
-                    ("counts", counts.into()),
-                    ("cache_hits", hits.into()),
-                    ("epoch", svc.epoch().into()),
-                    ("elapsed_ns", elapsed_ns(started)),
-                ]),
-            ))
+            let mut fields = vec![
+                ("counts", counts.into()),
+                ("cache_hits", hits.into()),
+                ("epoch", svc.epoch().into()),
+                ("elapsed_ns", elapsed_ns(started)),
+            ];
+            push_degraded_fields(svc, &mut fields);
+            Ok(Response::json(200, &obj_move(fields)))
         }
     }
 }
@@ -660,16 +742,15 @@ fn handle_occurrences(
     match spec {
         PathSpec::One(path) => {
             let (occ, cached) = svc.occurrences(&path, cache)?;
-            Ok(Response::json(
-                200,
-                &obj(&[
-                    ("total", occ.len().into()),
-                    ("occurrences", occ_json(&occ, limit)),
-                    ("cached", cached.into()),
-                    ("epoch", svc.epoch().into()),
-                    ("elapsed_ns", elapsed_ns(started)),
-                ]),
-            ))
+            let mut fields = vec![
+                ("total", occ.len().into()),
+                ("occurrences", occ_json(&occ, limit)),
+                ("cached", cached.into()),
+                ("epoch", svc.epoch().into()),
+                ("elapsed_ns", elapsed_ns(started)),
+            ];
+            push_degraded_fields(svc, &mut fields);
+            Ok(Response::json(200, &obj_move(fields)))
         }
         PathSpec::Many(paths) => {
             let mut results = Vec::with_capacity(paths.len());
@@ -687,15 +768,14 @@ fn handle_occurrences(
                     ]));
                 }
             }
-            Ok(Response::json(
-                200,
-                &obj_move(vec![
-                    ("results", Json::Arr(results)),
-                    ("cache_hits", hits.into()),
-                    ("epoch", svc.epoch().into()),
-                    ("elapsed_ns", elapsed_ns(started)),
-                ]),
-            ))
+            let mut fields = vec![
+                ("results", Json::Arr(results)),
+                ("cache_hits", hits.into()),
+                ("epoch", svc.epoch().into()),
+                ("elapsed_ns", elapsed_ns(started)),
+            ];
+            push_degraded_fields(svc, &mut fields);
+            Ok(Response::json(200, &obj_move(fields)))
         }
     }
 }
@@ -730,7 +810,7 @@ fn handle_extract(state: &ServerState, body: &Json) -> Result<Response, QueryErr
     ))
 }
 
-fn handle_append(state: &ServerState, body: &Json) -> Result<Response, QueryError> {
+fn handle_append(state: &ServerState, req: &Request, body: &Json) -> Result<Response, QueryError> {
     let Some(batch) = body.get("batch").and_then(Json::as_arr) else {
         return Ok(Response::error(
             400,
@@ -745,21 +825,37 @@ fn handle_append(state: &ServerState, body: &Json) -> Result<Response, QueryErro
             Err(resp) => return Ok(resp),
         }
     }
-    let out = state.service.append(&trajectories)?;
-    Ok(Response::json(
-        200,
-        &obj(&[
-            (
-                "assigned",
-                obj(&[
-                    ("start", out.assigned.start.into()),
-                    ("end", out.assigned.end.into()),
-                ]),
-            ),
-            ("shards", out.shards.into()),
-            ("epoch", out.epoch.into()),
-        ]),
-    ))
+    // Idempotency key: `Idempotency-Key` header, or `"key"` in the
+    // body (the header wins if both are present). A retried append
+    // carrying the same key is acked with the original assignment
+    // instead of being applied twice.
+    let header_key = req.header("idempotency-key");
+    let body_key = body.get("key").and_then(Json::as_str);
+    let key = match header_key.or(body_key) {
+        Some("") => {
+            return Ok(Response::error(
+                400,
+                "invalid_input",
+                "idempotency key must be non-empty",
+            ))
+        }
+        other => other,
+    };
+    let out = state.service.append_keyed(&trajectories, key)?;
+    let mut fields = vec![
+        (
+            "assigned",
+            obj(&[
+                ("start", out.assigned.start.into()),
+                ("end", out.assigned.end.into()),
+            ]),
+        ),
+        ("shards", out.shards.into()),
+        ("epoch", out.epoch.into()),
+        ("deduplicated", out.deduplicated.into()),
+    ];
+    push_degraded_fields(&state.service, &mut fields);
+    Ok(Response::json(200, &obj_move(fields)))
 }
 
 #[cfg(test)]

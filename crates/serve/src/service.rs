@@ -22,15 +22,23 @@
 //!   handler must not take the whole server down, and both phases of an
 //!   append leave the corpus structurally valid at every step.
 
+use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use cinct::{Query, QueryEngine, QueryError, QueryValue, ShardedCinct};
+use cinct::{
+    QuarantinedShard, Query, QueryEngine, QueryError, QueryValue, ShardedCinct, Wal, WalRecord,
+};
 use cinct_fmindex::PathQuery;
 
 use crate::cache::{CacheOp, CachedValue, Lookup, QueryCache};
 use crate::metrics;
+
+/// Idempotency keys remembered per process. Bounded FIFO: old keys age
+/// out, which is fine — a client retries within seconds, not after four
+/// thousand other appends.
+const IDEMPOTENCY_CAPACITY: usize = 4096;
 
 /// A sorted `(trajectory, offset)` occurrence listing, shared with the
 /// cache via `Arc` so hits are allocation-free.
@@ -45,6 +53,9 @@ pub struct AppendOutcome {
     pub shards: usize,
     /// The epoch the install advanced the corpus to.
     pub epoch: u64,
+    /// `true` when an idempotency key matched an already-applied batch
+    /// and this outcome was replayed instead of re-installed.
+    pub deduplicated: bool,
 }
 
 /// A point-in-time snapshot for the stats endpoint.
@@ -70,24 +81,141 @@ pub struct ServiceStats {
     pub cache_capacity: usize,
     /// Per-query shard fan-out threads the corpus is pinned to.
     pub fan_out_threads: usize,
+    /// Whether the corpus was opened resiliently with shards quarantined.
+    pub degraded: bool,
+    /// Number of quarantined shards (0 unless degraded).
+    pub quarantined_shards: usize,
+    /// Whether appends are journaled to a write-ahead log before acking.
+    pub wal_enabled: bool,
+    /// WAL records journaled since the last snapshot (0 without a WAL).
+    pub wal_pending: usize,
+}
+
+/// Bounded FIFO map from idempotency key to the outcome it produced.
+#[derive(Default)]
+struct IdemRegistry {
+    outcomes: HashMap<String, AppendOutcome>,
+    order: VecDeque<String>,
+}
+
+impl IdemRegistry {
+    fn get(&self, key: &str) -> Option<AppendOutcome> {
+        self.outcomes.get(key).map(|o| AppendOutcome {
+            deduplicated: true,
+            ..o.clone()
+        })
+    }
+
+    fn insert(&mut self, key: &str, outcome: &AppendOutcome) {
+        if self
+            .outcomes
+            .insert(key.to_owned(), outcome.clone())
+            .is_none()
+        {
+            self.order.push_back(key.to_owned());
+            while self.order.len() > IDEMPOTENCY_CAPACITY {
+                if let Some(old) = self.order.pop_front() {
+                    self.outcomes.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// See the module docs.
 pub struct CorpusService {
     corpus: RwLock<ShardedCinct>,
     cache: QueryCache,
+    /// When present, every append is journaled (and fsynced, per the
+    /// WAL's [`cinct::Durability`]) before it is installed or acked.
+    /// The mutex also serializes journal order with install order —
+    /// replay applies records in WAL order, so the two must agree.
+    wal: Option<Mutex<Wal>>,
+    idem: Mutex<IdemRegistry>,
+    /// Quarantine report snapshotted at construction. Quarantine only
+    /// happens at open time, so the snapshot never goes stale.
+    quarantined: Vec<QuarantinedShard>,
 }
 
 impl CorpusService {
     /// Wrap an assembled corpus. `cache_capacity == 0` disables the
     /// result cache; `cache_shards` is clamped to at least 1.
     pub fn new(corpus: ShardedCinct, cache_capacity: usize, cache_shards: usize) -> Self {
+        Self::build(corpus, cache_capacity, cache_shards, None)
+    }
+
+    /// Wrap a corpus with a write-ahead log: `replay` (the records
+    /// [`Wal::open`] recovered) is re-applied to the corpus first, so a
+    /// crash after ack but before snapshot loses nothing. Replayed
+    /// records keep their idempotency keys registered, so a client
+    /// retrying across the restart still deduplicates.
+    pub fn new_durable(
+        mut corpus: ShardedCinct,
+        cache_capacity: usize,
+        cache_shards: usize,
+        wal: Wal,
+        replay: Vec<WalRecord>,
+    ) -> Result<Self, QueryError> {
+        let mut replayed: Vec<(String, AppendOutcome)> = Vec::new();
+        for rec in &replay {
+            let assigned = corpus.append_batch(&rec.batch)?;
+            if !rec.key.is_empty() {
+                replayed.push((
+                    rec.key.clone(),
+                    AppendOutcome {
+                        assigned,
+                        shards: corpus.num_shards(),
+                        epoch: 0,
+                        deduplicated: false,
+                    },
+                ));
+            }
+        }
+        let svc = Self::build(corpus, cache_capacity, cache_shards, Some(wal));
+        {
+            let mut idem = svc.idem.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, outcome) in &replayed {
+                idem.insert(key, outcome);
+            }
+        }
+        Ok(svc)
+    }
+
+    fn build(
+        corpus: ShardedCinct,
+        cache_capacity: usize,
+        cache_shards: usize,
+        wal: Option<Wal>,
+    ) -> Self {
+        let quarantined = corpus.quarantined().to_vec();
         let svc = CorpusService {
             corpus: RwLock::new(corpus),
             cache: QueryCache::new(cache_capacity, cache_shards),
+            wal: wal.map(Mutex::new),
+            idem: Mutex::new(IdemRegistry::default()),
+            quarantined,
         };
         metrics::serve().epoch.set(0);
+        metrics::serve()
+            .degraded
+            .set(u64::from(!svc.quarantined.is_empty()));
         svc
+    }
+
+    /// Whether the corpus was opened resiliently with shards lost to
+    /// quarantine (queries succeed but cover only surviving shards).
+    pub fn degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// The quarantine report from open time (empty unless degraded).
+    pub fn quarantined(&self) -> &[QuarantinedShard] {
+        &self.quarantined
+    }
+
+    /// Whether appends are journaled to a WAL before acking.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, ShardedCinct> {
@@ -336,7 +464,9 @@ impl CorpusService {
         Ok(symbols)
     }
 
-    /// Recover a full stored trajectory by global ID.
+    /// Recover a full stored trajectory by global ID. On a degraded
+    /// corpus, IDs whose shard was quarantined fail with
+    /// [`QueryError::CorruptIndex`] rather than panicking.
     pub fn trajectory(&self, id: usize) -> Result<Vec<u32>, QueryError> {
         let corpus = self.read();
         let n = corpus.num_trajectories();
@@ -345,7 +475,7 @@ impl CorpusService {
                 "trajectory {id} out of range ({n} trajectories)"
             )));
         }
-        Ok(corpus.trajectory(id))
+        corpus.try_trajectory(id)
     }
 
     /// Install an append batch: build under the read lock (queries keep
@@ -353,9 +483,84 @@ impl CorpusService {
     /// module docs for why the epoch must advance inside the write
     /// section.
     pub fn append(&self, batch: &[Vec<u32>]) -> Result<AppendOutcome, QueryError> {
+        self.append_keyed(batch, None)
+    }
+
+    /// [`CorpusService::append`] with an optional idempotency key.
+    ///
+    /// With a key, a batch is applied **exactly once per process
+    /// lifetime** (the registry remembers the most recent 4096 keys):
+    /// a repeat of an already-applied key returns the original outcome
+    /// with `deduplicated: true` and installs nothing. With a WAL, the
+    /// key is journaled in the record, so deduplication also survives a
+    /// crash-and-replay restart.
+    ///
+    /// Ordering discipline when a WAL is present: journal (fsync per
+    /// the WAL's durability) **then** install, both under the WAL
+    /// mutex, so WAL order equals install order and replay reassigns
+    /// the same global IDs.
+    pub fn append_keyed(
+        &self,
+        batch: &[Vec<u32>],
+        key: Option<&str>,
+    ) -> Result<AppendOutcome, QueryError> {
         let m = metrics::serve();
         let t0 = Instant::now();
+        if let Some(key) = key {
+            let idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = idem.get(key) {
+                m.idem_hits.inc();
+                return Ok(hit);
+            }
+        }
         let prepared = self.read().prepare_batch(batch)?;
+        let outcome = match &self.wal {
+            Some(wal) => {
+                let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+                // Re-check under the serializing lock: a racing retry
+                // may have journaled + installed this key meanwhile.
+                if let Some(key) = key {
+                    let hit = {
+                        let idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+                        idem.get(key)
+                    };
+                    if let Some(hit) = hit {
+                        m.idem_hits.inc();
+                        return Ok(hit);
+                    }
+                }
+                wal.append(key.unwrap_or(""), batch)?;
+                let outcome = self.install(prepared);
+                if let Some(key) = key {
+                    let mut idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+                    idem.insert(key, &outcome);
+                }
+                outcome
+            }
+            None => match key {
+                Some(key) => {
+                    // No WAL: the idem lock itself serializes same-key
+                    // installs, closing the check/install race.
+                    let mut idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(hit) = idem.get(key) {
+                        m.idem_hits.inc();
+                        return Ok(hit);
+                    }
+                    let outcome = self.install(prepared);
+                    idem.insert(key, &outcome);
+                    outcome
+                }
+                None => self.install(prepared),
+            },
+        };
+        m.appends.inc();
+        m.epoch.set(outcome.epoch);
+        m.append_ns
+            .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        Ok(outcome)
+    }
+
+    fn install(&self, prepared: cinct::PreparedBatch) -> AppendOutcome {
         let (assigned, shards, epoch);
         {
             let mut corpus = self.corpus.write().unwrap_or_else(|e| e.into_inner());
@@ -363,15 +568,12 @@ impl CorpusService {
             epoch = self.cache.advance_epoch();
             shards = corpus.num_shards();
         }
-        m.appends.inc();
-        m.epoch.set(epoch);
-        m.append_ns
-            .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        Ok(AppendOutcome {
+        AppendOutcome {
             assigned,
             shards,
             epoch,
-        })
+            deduplicated: false,
+        }
     }
 
     /// Snapshot for the stats endpoint.
@@ -388,14 +590,31 @@ impl CorpusService {
             cache_entries: self.cache.len(),
             cache_capacity: self.cache.capacity(),
             fan_out_threads: corpus.fan_out_threads(),
+            degraded: self.degraded(),
+            quarantined_shards: self.quarantined.len(),
+            wal_enabled: self.wal.is_some(),
+            wal_pending: self
+                .wal
+                .as_ref()
+                .map_or(0, |w| w.lock().unwrap_or_else(|e| e.into_inner()).pending()),
         }
     }
 
     /// Persist the live corpus (graceful-shutdown durability for served
-    /// appends). Takes the read lock: concurrent queries proceed,
-    /// appends wait out the save.
+    /// appends), then truncate the WAL: everything journaled is now in
+    /// the snapshot. The WAL lock is held across both so no append can
+    /// journal between the save and the truncation and be lost. Takes
+    /// the corpus read lock: concurrent queries proceed, appends wait
+    /// out the save.
     pub fn save_dir(&self, dir: &std::path::Path) -> Result<(), QueryError> {
-        self.read().save_dir(dir)
+        match &self.wal {
+            Some(wal) => {
+                let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+                self.read().save_dir(dir)?;
+                wal.truncate()
+            }
+            None => self.read().save_dir(dir),
+        }
     }
 }
 

@@ -1,0 +1,131 @@
+//! Property: recovery through the write-ahead log is invisible. A
+//! corpus rebuilt by "save base, journal every batch, crash, replay"
+//! is outcome-identical — count, locate, extract — to one that applied
+//! the same batches directly with `append_batch` + `save_dir`, across
+//! shard counts K ∈ {1, 2, 5}.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cinct::{Durability, Path, PathQuery, ShardedBuilder, ShardedCinct, Wal};
+use proptest::prelude::*;
+
+/// Random corpora over a 12-edge network with sparse transition
+/// structure (same shape as `properties.rs`), at least 2 trajectories
+/// so there is always a base corpus and at least one appended batch.
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    let n_edges = 12u32;
+    proptest::collection::vec((0u32..n_edges, 1usize..16, any::<u64>()), 2..10).prop_map(
+        move |specs| {
+            specs
+                .into_iter()
+                .map(|(start, len, seed)| {
+                    let mut t = vec![start];
+                    let mut x = seed | 1;
+                    for _ in 1..len {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let prev = *t.last().unwrap();
+                        let succ = [
+                            (prev * 7 + 1) % n_edges,
+                            (prev * 7 + 3) % n_edges,
+                            (prev * 7 + 5) % n_edges,
+                        ];
+                        t.push(succ[((x >> 33) % 3) as usize]);
+                    }
+                    t
+                })
+                .collect()
+        },
+    )
+}
+
+fn scratch() -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "cinct-walprop-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Per-probe answers: count plus sorted occurrence positions.
+type ProbeAnswers = Vec<(usize, Vec<(usize, usize)>)>;
+
+/// Everything the query surface can observe.
+fn fingerprint(c: &ShardedCinct, probes: &[Vec<u32>]) -> (usize, Vec<Vec<u32>>, ProbeAnswers) {
+    let trajs = (0..c.num_trajectories()).map(|g| c.trajectory(g)).collect();
+    let answers = probes
+        .iter()
+        .map(|p| {
+            let path = Path::new(p);
+            (c.count(path), c.occurrences(path).unwrap().collect_sorted())
+        })
+        .collect();
+    (c.num_trajectories(), trajs, answers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn wal_replay_is_outcome_identical_to_direct_append(
+        trajs in corpus_strategy(),
+        split in 1usize..4,
+    ) {
+        let n_edges = 12usize;
+        // First `base_len` trajectories are the saved base; the rest
+        // arrive as `split`-sized appended batches.
+        let base_len = (trajs.len() / 2).max(1);
+        let (base, rest) = trajs.split_at(base_len);
+        let batches: Vec<&[Vec<u32>]> = rest.chunks(split.max(1)).collect();
+        let probes: Vec<Vec<u32>> = trajs
+            .iter()
+            .take(4)
+            .map(|t| t[..t.len().min(2)].to_vec())
+            .collect();
+
+        for k in [1usize, 2, 5] {
+            // Direct path: append each batch in memory.
+            let mut direct = ShardedBuilder::new()
+                .shards(k)
+                .locate_sampling(2)
+                .build(base, n_edges);
+            for b in &batches {
+                direct.append_batch(b).unwrap();
+            }
+
+            // WAL path: save the base, journal each batch, "crash"
+            // (drop without saving), then recover by replay.
+            let dir = scratch();
+            ShardedBuilder::new()
+                .shards(k)
+                .locate_sampling(2)
+                .build(base, n_edges)
+                .save_dir(&dir)
+                .unwrap();
+            {
+                let (mut wal, replay) = Wal::open(&dir, Durability::Fast).unwrap();
+                prop_assert!(replay.is_empty());
+                for (i, b) in batches.iter().enumerate() {
+                    wal.append(&format!("batch-{i}"), b).unwrap();
+                }
+            }
+            let mut replayed = ShardedCinct::open_dir(&dir).unwrap();
+            let (_, records) = Wal::open(&dir, Durability::Fast).unwrap();
+            prop_assert_eq!(records.len(), batches.len());
+            for rec in &records {
+                replayed.append_batch(&rec.batch).unwrap();
+            }
+
+            prop_assert_eq!(
+                fingerprint(&direct, &probes),
+                fingerprint(&replayed, &probes),
+                "K = {}", k
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
