@@ -5,7 +5,9 @@
 //! connections are refused afterwards.
 //!
 //! Usage: `serveclient <host:port> [--shutdown]
-//!                                 [--count-min EDGE N] [--expect-degraded]`
+//!                                 [--count-min EDGE N] [--expect-degraded]
+//!                                 [--wait-count EDGE N SECS]
+//!                                 [--expect-role ROLE] [--promote]`
 //!
 //! `--count-min EDGE N` is the crash-recovery probe: assert the server
 //! is healthy and the count of single-edge path `[EDGE]` is at least
@@ -13,6 +15,13 @@
 //! appends survived). `--expect-degraded` is the quarantine probe:
 //! assert `/healthz` says `degraded` and queries answer 200 with the
 //! `degraded` marker and a non-empty quarantine report.
+//!
+//! The replication probes: `--wait-count EDGE N SECS` polls until the
+//! count of `[EDGE]` reaches `N` (a follower converging on shipped
+//! appends) or fails after `SECS` seconds; `--expect-role ROLE`
+//! asserts `/healthz` reports that replication role; `--promote` flips
+//! a follower to primary over `POST /admin/promote` and verifies the
+//! role changed.
 //!
 //! Exits non-zero on the first failed check (every check is an
 //! `assert!`), so a CI job can background `cinct serve`, point this
@@ -90,15 +99,26 @@ fn connect(addr: &str) -> Client {
     .expect("connect")
 }
 
+/// `/healthz`, parsed: the body is a JSON object with `status`, `role`,
+/// `wal`, and `replication` members.
+fn healthz(client: &mut Client) -> Json {
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200, "healthz status: {body}");
+    Json::parse(&body).expect("healthz JSON")
+}
+
+fn health_status(health: &Json) -> &str {
+    health
+        .get("status")
+        .and_then(Json::as_str)
+        .expect("healthz status field")
+}
+
 /// `--count-min EDGE N`: the post-crash-restart probe.
 fn probe_count_min(addr: &str, edge: u32, min: usize) {
     let mut client = connect(addr);
-    let (status, body) = client.get("/healthz").expect("healthz");
-    assert_eq!(
-        (status, body.as_str()),
-        (200, "ok\n"),
-        "healthz after restart"
-    );
+    let health = healthz(&mut client);
+    assert_eq!(health_status(&health), "ok", "healthz after restart");
     let n = count_path(&mut client, &[edge]);
     assert!(
         n >= min,
@@ -110,12 +130,8 @@ fn probe_count_min(addr: &str, edge: u32, min: usize) {
 /// `--expect-degraded`: the quarantine probe.
 fn probe_degraded(addr: &str) {
     let mut client = connect(addr);
-    let (status, body) = client.get("/healthz").expect("healthz");
-    assert_eq!(
-        (status, body.as_str()),
-        (200, "degraded\n"),
-        "healthz degraded"
-    );
+    let health = healthz(&mut client);
+    assert_eq!(health_status(&health), "degraded", "healthz degraded");
     let (status, resp) = client
         .post_json(
             "/v1/count",
@@ -149,11 +165,67 @@ fn probe_degraded(addr: &str) {
     );
 }
 
+/// `--wait-count EDGE N SECS`: the replication-convergence probe — poll
+/// until the count of `[EDGE]` reaches `N` (a follower catching up on
+/// shipped appends), failing after `SECS` seconds.
+fn probe_wait_count(addr: &str, edge: u32, min: usize, secs: u64) {
+    let mut client = connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        let n = count_path(&mut client, &[edge]);
+        if n >= min {
+            println!("wait-count: count of [{edge}] = {n} >= {min}");
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "count of [{edge}] stuck at {n} < {min} after {secs}s: follower never converged"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// `--expect-role ROLE`: assert `/healthz` reports this replication
+/// role (and, for a follower, that lag accounting is present).
+fn probe_role(addr: &str, want: &str) {
+    let mut client = connect(addr);
+    let health = healthz(&mut client);
+    assert_eq!(
+        health.get("role").and_then(Json::as_str),
+        Some(want),
+        "role: {}",
+        health.render()
+    );
+    assert!(
+        health.get("replication").is_some(),
+        "healthz missing replication block: {}",
+        health.render()
+    );
+    println!("role: {want}");
+}
+
+/// `--promote`: flip a follower to primary over HTTP and verify the
+/// role changed — the failover half of the CI replication smoke.
+fn probe_promote(addr: &str) {
+    let mut client = connect(addr);
+    let (status, body) = client.post("/admin/promote", "{}").expect("promote");
+    assert_eq!(status, 200, "promote: {body}");
+    let health = healthz(&mut client);
+    assert_eq!(
+        health.get("role").and_then(Json::as_str),
+        Some("primary"),
+        "role after promote: {}",
+        health.render()
+    );
+    println!("promote: role is primary");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first() else {
         eprintln!(
-            "usage: serveclient <host:port> [--shutdown] [--count-min EDGE N] [--expect-degraded]"
+            "usage: serveclient <host:port> [--shutdown] [--count-min EDGE N] \
+             [--expect-degraded] [--wait-count EDGE N SECS] [--expect-role ROLE] [--promote]"
         );
         std::process::exit(2);
     };
@@ -168,12 +240,31 @@ fn main() {
         probe_degraded(addr);
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--wait-count") {
+        let edge: u32 = args.get(i + 1).and_then(|v| v.parse().ok()).expect("EDGE");
+        let min: usize = args.get(i + 2).and_then(|v| v.parse().ok()).expect("N");
+        let secs: u64 = args.get(i + 3).and_then(|v| v.parse().ok()).expect("SECS");
+        probe_wait_count(addr, edge, min, secs);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--expect-role") {
+        let role = args.get(i + 1).expect("ROLE");
+        probe_role(addr, role);
+        return;
+    }
+    if args.iter().any(|a| a == "--promote") {
+        probe_promote(addr);
+        return;
+    }
 
     let mut client = connect(addr.as_str());
 
-    // Liveness + corpus shape.
-    let (status, body) = client.get("/healthz").expect("healthz");
-    assert_eq!((status, body.as_str()), (200, "ok\n"), "healthz");
+    // Liveness + corpus shape. `/healthz` is a JSON object carrying the
+    // status, the replication role, and WAL/lag accounting.
+    let health = healthz(&mut client);
+    assert_eq!(health_status(&health), "ok", "healthz");
+    assert!(health.get("role").is_some(), "healthz missing role");
+    assert!(health.get("wal").is_some(), "healthz missing wal block");
     let (status, body) = client.get("/v1/stats").expect("stats");
     assert_eq!(status, 200, "stats");
     let stats = Json::parse(&body).expect("stats JSON");

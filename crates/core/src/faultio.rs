@@ -29,7 +29,7 @@
 
 use std::cell::RefCell;
 use std::fs::File;
-use std::io::{self, Seek, Write};
+use std::io::{self, Write};
 use std::path::Path;
 
 /// What an armed thread injects into the IO primitives.
@@ -208,19 +208,6 @@ pub(crate) fn rename(from: &Path, to: &Path) -> io::Result<()> {
     match consult(Op::Rename) {
         Verdict::Proceed => std::fs::rename(from, to),
         Verdict::Torn | Verdict::Fail(_) => Err(injected("rename failure")),
-    }
-}
-
-/// Truncate an open file to `len` and re-seek to its end (a durable
-/// **write** op — WAL truncation after a successful save goes through
-/// here so the crash matrix covers it).
-pub(crate) fn truncate_file(file: &mut File, len: u64) -> io::Result<()> {
-    match consult(Op::Write) {
-        Verdict::Proceed => {
-            file.set_len(len)?;
-            file.seek(io::SeekFrom::Start(len)).map(|_| ())
-        }
-        Verdict::Torn | Verdict::Fail(_) => Err(injected("truncate failure")),
     }
 }
 

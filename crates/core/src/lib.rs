@@ -142,7 +142,7 @@ pub use temporal::{
     StrictIter, StrictPathMatch, StrictPathQuery, TemporalCinct, TimestampedTrajectory,
 };
 pub use trace::{QueryTrace, ShardTrace, TraceStep};
-pub use wal::{Wal, WalRecord};
+pub use wal::{Wal, WalRead, WalRecord, MAX_RECORD_BYTES};
 
 // The unified query surface lives in `cinct_fmindex` (below every backend
 // in the dependency graph); re-export it so `use cinct::PathQuery` works.

@@ -40,10 +40,15 @@ use std::path::Path as FsPath;
 
 /// Manifest magic prefix ("CINCTS" as bytes, low 16 bits = format version).
 const MANIFEST_PREFIX: u64 = 0x4349_4e43_5453_0000;
-/// Current manifest format version.
-const MANIFEST_VERSION: u64 = 1;
+/// Current manifest format version (2 = records the WAL position the
+/// manifest absorbs, closing the save-vs-retire crash window).
+const MANIFEST_VERSION: u64 = 2;
 /// The manifest file inside a sharded-index directory.
 pub const MANIFEST_FILE: &str = "manifest.cinct";
+/// Snapshot-stream magic prefix ("CINCSN" as bytes, low 16 bits = version).
+const SNAPSHOT_PREFIX: u64 = 0x4349_4e43_534e_0000;
+/// Current snapshot-stream format version.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// File name of shard `s` inside the directory. **Content-addressed**:
 /// the name embeds the file's own checksum, so a re-save (after
@@ -199,6 +204,23 @@ impl ShardedCinct {
         dir: impl AsRef<FsPath>,
         durability: Durability,
     ) -> Result<(), QueryError> {
+        self.save_dir_at(dir, durability, 0)
+    }
+
+    /// [`ShardedCinct::save_dir_with`] that also stamps `wal_position`
+    /// into the manifest: the WAL sequence number this save absorbs
+    /// (every journaled record below it is folded into the manifest).
+    /// `Wal::open` reads the stamp back and skips replaying absorbed
+    /// records — without it, a crash *between* the manifest rename and
+    /// the WAL retire would replay records the manifest already holds,
+    /// applying them twice. Callers without a WAL pass 0 (nothing is
+    /// absorbed, nothing is filtered).
+    pub fn save_dir_at(
+        &self,
+        dir: impl AsRef<FsPath>,
+        durability: Durability,
+        wal_position: u64,
+    ) -> Result<(), QueryError> {
         let _span = cinct_obs::Span::enter(&crate::metrics::store().save_ns);
         if self.is_degraded() {
             return Err(QueryError::InvalidInput(format!(
@@ -209,28 +231,65 @@ impl ShardedCinct {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
         // Shard files first, collecting names + checksums for the manifest.
-        let mut names = Vec::with_capacity(self.num_shards());
-        let mut checksums = Vec::with_capacity(self.num_shards());
+        let shards = self.serialize_shards()?;
+        for (name, bytes, _) in &shards {
+            let path = dir.join(name);
+            // The name *is* the content hash: an existing file with this
+            // name already holds these bytes (open_dir re-verifies).
+            if !path.exists() {
+                write_atomic(&path, bytes, durability)?;
+            }
+        }
+        let m = self.manifest_bytes(&shards, wal_position)?;
+        write_atomic(&dir.join(MANIFEST_FILE), &m, durability)?;
+        // The new manifest is live — garbage-collect shard files it does
+        // not reference (previous generations, stray temp files). Best
+        // effort: a leftover file is harmless, only disk overhead.
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let fname = entry.file_name();
+                let fname = fname.to_string_lossy();
+                let stale_shard = fname.starts_with("shard-")
+                    && fname.ends_with(".cinct")
+                    && !shards.iter().any(|(n, _, _)| n == &*fname);
+                if stale_shard || fname.ends_with(".tmp") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize every shard, returning `(file name, bytes, checksum)`
+    /// per shard — the common front half of [`ShardedCinct::save_dir`]
+    /// and [`ShardedCinct::snapshot_to_vec`].
+    fn serialize_shards(&self) -> Result<Vec<(String, Vec<u8>, u64)>, QueryError> {
+        let mut out = Vec::with_capacity(self.num_shards());
         for s in 0..self.num_shards() {
             let mut bytes = Vec::new();
             self.shard_index(s)
                 .write_to(&mut bytes)
                 .map_err(|e| QueryError::Io(format!("serialize shard {s}: {e}")))?;
             let checksum = fnv64(&bytes);
-            let name = shard_file_name(s, checksum);
-            let path = dir.join(&name);
-            // The name *is* the content hash: an existing file with this
-            // name already holds these bytes (open_dir re-verifies).
-            if !path.exists() {
-                write_atomic(&path, &bytes, durability)?;
-            }
-            names.push(name);
-            checksums.push(checksum);
+            out.push((shard_file_name(s, checksum), bytes, checksum));
         }
-        // Manifest body, then its trailing self-checksum.
+        Ok(out)
+    }
+
+    /// Build the manifest byte stream (header, absorbed WAL position,
+    /// config, per-shard directory, trailing self-checksum) over the
+    /// serialized shards. `wal_position` sits at a fixed offset right
+    /// after the magic word so [`manifest_wal_position`] can read it
+    /// without parsing the whole directory.
+    fn manifest_bytes(
+        &self,
+        shards: &[(String, Vec<u8>, u64)],
+        wal_position: u64,
+    ) -> Result<Vec<u8>, QueryError> {
         let mut m: Vec<u8> = Vec::new();
         let w = &mut m as &mut dyn std::io::Write;
         write_u64(w, MANIFEST_PREFIX | MANIFEST_VERSION)?;
+        write_u64(w, wal_position)?;
         write_usize(w, self.network_edges())?;
         let b = self.config().index_builder_config();
         write_usize(w, b.configured_block_size())?;
@@ -242,31 +301,114 @@ impl ShardedCinct {
         write_usize(w, self.config().configured_threads())?;
         write_usize(w, self.num_trajectories())?;
         write_usize(w, self.num_shards())?;
-        for (s, (name, &checksum)) in names.iter().zip(&checksums).enumerate() {
+        for (s, (name, _, checksum)) in shards.iter().enumerate() {
             name.as_bytes().to_vec().persist(w)?;
             write_usize(w, self.shard_index(s).num_trajectories())?;
-            write_u64(w, checksum)?;
+            write_u64(w, *checksum)?;
             self.shard_globals(s).to_vec().persist(w)?;
         }
         let digest = fnv64(&m);
         write_u64(&mut m, digest)?;
-        write_atomic(&dir.join(MANIFEST_FILE), &m, durability)?;
-        // The new manifest is live — garbage-collect shard files it does
-        // not reference (previous generations, stray temp files). Best
-        // effort: a leftover file is harmless, only disk overhead.
-        if let Ok(rd) = std::fs::read_dir(dir) {
-            for entry in rd.flatten() {
-                let fname = entry.file_name();
-                let fname = fname.to_string_lossy();
-                let stale_shard = fname.starts_with("shard-")
-                    && fname.ends_with(".cinct")
-                    && !names.iter().any(|n| n == &*fname);
-                if stale_shard || fname.ends_with(".tmp") {
-                    let _ = std::fs::remove_file(entry.path());
-                }
+        Ok(m)
+    }
+
+    /// Serialize the whole corpus as one self-describing **snapshot
+    /// stream** — the follower-bootstrap payload behind the primary's
+    /// `/repl/snapshot` endpoint. The stream carries the manifest, every
+    /// shard file, and `absorbed_seq`: the WAL position this snapshot
+    /// absorbs (every record below it is already folded in, so a
+    /// follower installing the snapshot resumes pulling from exactly
+    /// `absorbed_seq`). A trailing FNV-1a checksum over the whole stream
+    /// catches truncation in transit before any field is trusted.
+    ///
+    /// Refuses a degraded corpus for the same reason `save_dir` does:
+    /// the snapshot would quietly turn quarantine into deletion on
+    /// every follower that bootstraps from it.
+    pub fn snapshot_to_vec(&self, absorbed_seq: u64) -> Result<Vec<u8>, QueryError> {
+        if self.is_degraded() {
+            return Err(QueryError::InvalidInput(format!(
+                "refusing to snapshot a degraded corpus ({} quarantined shard(s) would be dropped)",
+                self.quarantined().len()
+            )));
+        }
+        let shards = self.serialize_shards()?;
+        let manifest = self.manifest_bytes(&shards, absorbed_seq)?;
+        let mut out: Vec<u8> = Vec::new();
+        let w = &mut out as &mut dyn std::io::Write;
+        write_u64(w, SNAPSHOT_PREFIX | SNAPSHOT_VERSION)?;
+        write_u64(w, absorbed_seq)?;
+        manifest.persist(w)?;
+        write_usize(w, shards.len())?;
+        for (name, bytes, _) in shards {
+            name.into_bytes().persist(w)?;
+            bytes.persist(w)?;
+        }
+        let digest = fnv64(&out);
+        write_u64(&mut out, digest)?;
+        Ok(out)
+    }
+
+    /// Install a [`ShardedCinct::snapshot_to_vec`] stream into `dir` and
+    /// open it, returning the corpus and the WAL position the snapshot
+    /// absorbs. Files land through the same atomic temp-file + rename
+    /// discipline as `save_dir`, manifest last, so a crash mid-install
+    /// leaves either the previous corpus or the new one — never a mix.
+    /// The caller owns re-basing its WAL at the returned position (see
+    /// `Wal::create_at`).
+    pub fn install_snapshot(
+        dir: impl AsRef<FsPath>,
+        stream: &[u8],
+        durability: Durability,
+    ) -> Result<(ShardedCinct, u64), QueryError> {
+        let dir = dir.as_ref();
+        if stream.len() < 24 {
+            return Err(corrupt("snapshot stream too short to hold a header"));
+        }
+        let magic = u64::from_le_bytes(stream[..8].try_into().expect("length checked"));
+        if magic & !0xffff != SNAPSHOT_PREFIX {
+            return Err(corrupt("not a CiNCT snapshot (bad magic)"));
+        }
+        let version = magic & 0xffff;
+        if version != SNAPSHOT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let (body, tail) = stream.split_at(stream.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv64(body) != stored {
+            crate::metrics::store().checksum_fail.inc();
+            return Err(corrupt(
+                "snapshot stream checksum mismatch (truncated or corrupted in transit)",
+            ));
+        }
+        crate::metrics::store().checksum_ok.inc();
+        let mut cur = Cursor::new(&body[8..]);
+        let r = &mut cur as &mut dyn std::io::Read;
+        let absorbed_seq = read_u64(r)?;
+        let manifest: Vec<u8> = Persist::restore(r)?;
+        let n_files = read_usize(r)?;
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        for i in 0..n_files {
+            let name_bytes: Vec<u8> = Persist::restore(r)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| corrupt(format!("snapshot file {i}: name is not UTF-8")))?;
+            if name.contains(['/', '\\']) || name.contains("..") || name.is_empty() {
+                return Err(corrupt(format!(
+                    "snapshot file {i}: unsafe file name {name:?}"
+                )));
+            }
+            let bytes: Vec<u8> = Persist::restore(r)?;
+            let path = dir.join(&name);
+            if !path.exists() {
+                write_atomic(&path, &bytes, durability)?;
             }
         }
-        Ok(())
+        // Manifest last: the rename is the commit point, exactly as in
+        // `save_dir`. Only after it lands does the new corpus exist.
+        write_atomic(&dir.join(MANIFEST_FILE), &manifest, durability)?;
+        let corpus = ShardedCinct::open_dir(dir)?;
+        Ok((corpus, absorbed_seq))
     }
 
     /// Reopen a directory written by [`ShardedCinct::save_dir`]
@@ -322,6 +464,10 @@ impl ShardedCinct {
         crate::metrics::store().checksum_ok.inc();
         let mut cur = Cursor::new(&body[8..]);
         let r = &mut cur as &mut dyn std::io::Read;
+        // The absorbed WAL position: consumed here to keep the cursor
+        // aligned, read directly by `manifest_wal_position` (the WAL's
+        // replay filter), irrelevant to the corpus itself.
+        let _wal_position = read_u64(r)?;
         let n_edges = read_usize(r)?;
         let block_size = read_usize(r)?;
         let locate = read_usize(r)?;
@@ -467,6 +613,30 @@ fn load_shard(
             Err(e)
         }
     }
+}
+
+/// The WAL position stamped into `dir`'s manifest by
+/// [`ShardedCinct::save_dir_at`] — every journaled record below it is
+/// already folded into the saved corpus. `None` when there is no
+/// manifest, or it fails its magic/version/checksum checks (the full
+/// open will report that damage properly; the WAL replay filter just
+/// falls back to replaying everything). Reads through `std::fs`, not
+/// [`faultio`], so consulting it never perturbs an armed fault plan's
+/// operation counts.
+pub(crate) fn manifest_wal_position(dir: &FsPath) -> Option<u64> {
+    let bytes = std::fs::read(dir.join(MANIFEST_FILE)).ok()?;
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+    if magic & !0xffff != MANIFEST_PREFIX || magic & 0xffff != MANIFEST_VERSION {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    if fnv64(body) != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[8..16].try_into().ok()?))
 }
 
 #[cfg(test)]
@@ -720,6 +890,41 @@ mod tests {
             Err(QueryError::CorruptIndex(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_installs_an_identical_corpus() {
+        let dir = scratch("snapshot");
+        let sharded = build_sharded();
+        let stream = sharded.snapshot_to_vec(42).unwrap();
+        let (back, absorbed) =
+            ShardedCinct::install_snapshot(&dir, &stream, Durability::Fast).unwrap();
+        assert_eq!(absorbed, 42);
+        assert_eq!(back.num_trajectories(), sharded.num_trajectories());
+        for g in 0..4 {
+            assert_eq!(back.trajectory(g), sharded.trajectory(g), "g={g}");
+        }
+        assert_eq!(back.count(Path::new(&[0, 1])), 2);
+        // Installing over an older corpus replaces it atomically.
+        let mut bigger = sharded.clone();
+        bigger.append_batch(&[vec![1, 2, 5]]).unwrap();
+        let stream2 = bigger.snapshot_to_vec(43).unwrap();
+        let (back2, absorbed2) =
+            ShardedCinct::install_snapshot(&dir, &stream2, Durability::Fast).unwrap();
+        assert_eq!(absorbed2, 43);
+        assert_eq!(back2.num_trajectories(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_stream_is_corrupt_index() {
+        let dir = scratch("snapshot-trunc");
+        let stream = build_sharded().snapshot_to_vec(0).unwrap();
+        match ShardedCinct::install_snapshot(&dir, &stream[..stream.len() - 3], Durability::Fast) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -139,7 +139,7 @@ fn crash_matrix_wal_append_recovers_a_clean_acked_prefix() {
             if let Ok((mut wal, _)) = Wal::open(&dir, Durability::Durable) {
                 for (i, b) in batches.iter().enumerate() {
                     match wal.append(&format!("k{i}"), b) {
-                        Ok(()) => acked += 1,
+                        Ok(_) => acked += 1,
                         Err(_) => break,
                     }
                 }
@@ -162,6 +162,93 @@ fn crash_matrix_wal_append_recovers_a_clean_acked_prefix() {
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }
+}
+
+#[test]
+fn manifest_wal_stamp_skips_absorbed_replay_after_crashed_retire() {
+    // The save/retire crash window: `save_dir_at` renames the manifest,
+    // then the process dies before the WAL retire. The absorbed records
+    // are still in the active segment but the manifest already holds
+    // them — replaying would apply every one twice.
+    let dir = scratch("absorbed-replay");
+    let (mut wal, _) = Wal::open(&dir, Durability::Fast).unwrap();
+    let mut corpus = build_sharded();
+    for (key, batch) in [("k0", vec![vec![1u32, 2, 5]]), ("k1", vec![vec![0u32, 1]])] {
+        wal.append(key, &batch).unwrap();
+        corpus.append_batch(&batch).unwrap();
+    }
+    let position = wal.next_seq();
+    corpus
+        .save_dir_at(&dir, Durability::Durable, position)
+        .unwrap();
+    drop(wal); // crash before `retire()`
+    let (wal, replay) = Wal::open(&dir, Durability::Fast).unwrap();
+    assert!(
+        replay.is_empty(),
+        "{} absorbed record(s) replayed",
+        replay.len()
+    );
+    assert_eq!(wal.pending(), 0);
+    assert_eq!(
+        wal.next_seq(),
+        position,
+        "positions must survive the filter"
+    );
+    let back = ShardedCinct::open_dir(&dir).unwrap();
+    assert_eq!(fingerprint(&back), fingerprint(&corpus));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn manifest_wal_stamp_filters_replay_to_the_unabsorbed_suffix() {
+    // A manifest that absorbed only a prefix of the log (a follower
+    // snapshot cut mid-stream): replay resumes exactly at the stamp.
+    let dir = scratch("absorbed-partial");
+    let (mut wal, _) = Wal::open(&dir, Durability::Fast).unwrap();
+    let batches: Vec<Vec<Vec<u32>>> = vec![vec![vec![1, 2, 5]], vec![vec![0, 1]], vec![vec![0, 3]]];
+    let mut corpus = build_sharded();
+    for (i, batch) in batches.iter().enumerate() {
+        wal.append(&format!("k{i}"), batch).unwrap();
+    }
+    corpus.append_batch(&batches[0]).unwrap();
+    corpus.append_batch(&batches[1]).unwrap();
+    corpus.save_dir_at(&dir, Durability::Durable, 2).unwrap();
+    drop(wal);
+    let (wal, replay) = Wal::open(&dir, Durability::Fast).unwrap();
+    assert_eq!(replay.len(), 1, "exactly the unabsorbed suffix replays");
+    assert_eq!(replay[0].seq, 2);
+    assert_eq!(replay[0].key, "k2");
+    assert_eq!(replay[0].batch, batches[2]);
+    assert_eq!(wal.pending(), 1);
+    assert_eq!(wal.next_seq(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn manifest_ahead_of_the_log_rebases_instead_of_replaying_stale_history() {
+    // The bootstrap crash window: a snapshot install commits a manifest
+    // absorbed through seq 42, then the process dies before
+    // `Wal::create_at` re-bases the log. The retained history predates
+    // the installed corpus — replaying it would resurrect overwritten
+    // state, so the open re-bases at the manifest's position instead.
+    let dir = scratch("manifest-ahead");
+    let (mut wal, _) = Wal::open(&dir, Durability::Fast).unwrap();
+    wal.append("stale", &[vec![9u32, 9]]).unwrap();
+    let active = wal.path().to_path_buf();
+    drop(wal);
+    build_sharded()
+        .save_dir_at(&dir, Durability::Durable, 42)
+        .unwrap();
+    let (wal, replay) = Wal::open(&dir, Durability::Fast).unwrap();
+    assert!(replay.is_empty(), "stale pre-snapshot history replayed");
+    assert_eq!((wal.base_seq(), wal.next_seq()), (42, 42));
+    drop(wal);
+    // Same window, fresh-file shape: no active segment survived at all.
+    std::fs::remove_file(&active).unwrap();
+    let (wal, replay) = Wal::open(&dir, Durability::Fast).unwrap();
+    assert!(replay.is_empty());
+    assert_eq!((wal.base_seq(), wal.next_seq()), (42, 42));
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

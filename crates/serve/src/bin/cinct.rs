@@ -71,7 +71,9 @@ fn usage() -> ExitCode {
   cinct get <index> <trajectory-id>
   cinct serve <index-dir> [--addr HOST:PORT] [--workers N] [--queue N]
               [--deadline-ms MS] [--cache N] [--fan-out N] [--max-body BYTES]
-              [--no-save] [--resilient]       serve the sharded directory over
+              [--no-save] [--resilient]
+              [--replica-of HOST:PORT] [--follower-id NAME]
+                                            serve the sharded directory over
                                             HTTP/1.1 + JSON; 0 = auto on the
                                             thread knobs; POST /admin/shutdown
                                             drains gracefully and (unless
@@ -82,7 +84,11 @@ fn usage() -> ExitCode {
                                             WAL too). --resilient opens the
                                             corpus even when shards fail
                                             verification, quarantining them
-                                            and serving degraded"
+                                            and serving degraded.
+                                            --replica-of makes this a read-only
+                                            follower pulling HOST:PORT's WAL:
+                                            appends answer 421 with the primary
+                                            location until POST /admin/promote"
     );
     ExitCode::from(2)
 }
@@ -499,6 +505,8 @@ fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
     let mut addr = String::from("127.0.0.1:8080");
     let mut save_on_drain = true;
     let mut resilient = false;
+    let mut replica_of: Option<String> = None;
+    let mut follower_id: Option<String> = None;
     let mut i = 0;
     let parse_usize = |flags: &[String], i: usize, what: &str| -> Result<usize, String> {
         flags
@@ -549,6 +557,24 @@ fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
                 resilient = true;
                 i += 1;
             }
+            "--replica-of" => {
+                replica_of = Some(
+                    flags
+                        .get(i + 1)
+                        .ok_or("--replica-of needs host:port")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--follower-id" => {
+                follower_id = Some(
+                    flags
+                        .get(i + 1)
+                        .ok_or("--follower-id needs a name")?
+                        .clone(),
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -596,9 +622,35 @@ fn cmd_serve(index_dir: &str, flags: &[String]) -> Result<(), String> {
     );
     eprintln!(
         "endpoints: POST /v1/count /v1/locate /v1/occurrences /v1/extract /v1/append; \
-         GET /v1/stats /metrics /healthz; POST /admin/shutdown"
+         GET /v1/stats /metrics /healthz /repl/snapshot /repl/wal; \
+         POST /admin/shutdown /admin/promote"
     );
-    server.run().map_err(|e| e.to_string())?;
+    // Follower mode: mark the role before traffic, then pull the
+    // primary's WAL on a background thread until drain or promotion.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut repl_thread = None;
+    if let Some(primary) = &replica_of {
+        if !save_on_drain {
+            return Err("--replica-of needs the WAL; drop --no-save".into());
+        }
+        handle.set_replica_of(primary);
+        let id = follower_id.unwrap_or_else(|| handle.addr().to_string());
+        eprintln!("replicating from {primary} as follower {id:?} (read-only until promoted)");
+        let mut replicator = cinct_serve::Replicator::new(
+            handle.clone(),
+            primary,
+            &id,
+            std::path::PathBuf::from(index_dir),
+        );
+        let stop_flag = std::sync::Arc::clone(&stop);
+        repl_thread = Some(std::thread::spawn(move || replicator.run(&stop_flag)));
+    }
+    let run_result = server.run().map_err(|e| e.to_string());
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(t) = repl_thread {
+        let _ = t.join();
+    }
+    run_result?;
     let appends = handle.service().epoch();
     let wal_pending = handle.service().stats().wal_pending;
     if save_on_drain && handle.service().degraded() {

@@ -15,7 +15,7 @@ use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hasher};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::metrics;
@@ -116,6 +116,24 @@ impl Client {
     /// idempotent, so the retry policy applies.
     pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
         self.request_opts("GET", target, None, None, true)
+    }
+
+    /// Issue `GET target` for a binary body (`/repl/snapshot` streams
+    /// raw bytes, not UTF-8). One attempt, no retries — the caller (the
+    /// replicator's bootstrap loop) owns the retry decision.
+    pub fn get_bytes(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        if self.dirty {
+            self.reader = Self::dial(&self.addr, self.policy.timeout)?;
+        }
+        self.dirty = true;
+        {
+            let stream = self.reader.get_mut();
+            write!(stream, "GET {target} HTTP/1.1\r\n\r\n")?;
+            stream.flush()?;
+        }
+        let (status, body, _) = self.read_response_bytes()?;
+        self.dirty = false;
+        Ok((status, body))
     }
 
     /// Issue `POST target` with a JSON string body. Never retried — a
@@ -249,6 +267,14 @@ impl Client {
     /// [`Client::read_response`] plus the parsed `Retry-After` header
     /// (seconds), which the retry loop honors on 429/503.
     fn read_response_full(&mut self) -> io::Result<(u16, String, Option<u64>)> {
+        let (status, body, retry_after) = self.read_response_bytes()?;
+        String::from_utf8(body)
+            .map(|text| (status, text, retry_after))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+
+    /// Read one response off the connection as raw bytes.
+    fn read_response_bytes(&mut self) -> io::Result<(u16, Vec<u8>, Option<u64>)> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
@@ -292,9 +318,206 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        String::from_utf8(body)
-            .map(|text| (status, text, retry_after))
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+        Ok((status, body, retry_after))
+    }
+}
+
+/// Consecutive failures that open an endpoint's circuit breaker.
+const CIRCUIT_THRESHOLD: u32 = 3;
+
+/// How long an open breaker keeps an endpoint out of rotation before
+/// one trial request is let through again (half-open).
+const CIRCUIT_COOLDOWN: Duration = Duration::from_secs(1);
+
+/// One endpoint of a [`FailoverClient`]: a lazily-dialed connection
+/// plus its circuit-breaker state.
+struct Endpoint {
+    addr: String,
+    client: Option<Client>,
+    /// Consecutive failures; the breaker opens at [`CIRCUIT_THRESHOLD`].
+    failures: u32,
+    /// While in the future, the breaker is open and rotation skips
+    /// this endpoint.
+    open_until: Option<Instant>,
+}
+
+impl Endpoint {
+    fn new(addr: &str) -> Endpoint {
+        Endpoint {
+            addr: addr.to_string(),
+            client: None,
+            failures: 0,
+            open_until: None,
+        }
+    }
+
+    fn available(&self) -> bool {
+        match self.open_until {
+            Some(until) => Instant::now() >= until,
+            None => true,
+        }
+    }
+}
+
+/// A client over a **replicated deployment**: one primary plus any
+/// number of followers.
+///
+/// * **Reads** round-robin across every endpoint — followers serve
+///   queries — skipping endpoints whose circuit breaker is open. A
+///   failed endpoint takes [`CIRCUIT_THRESHOLD`] consecutive errors,
+///   then sits out [`CIRCUIT_COOLDOWN`] before one half-open trial.
+/// * **Writes** go to the current primary hint. A `421 Misdirected
+///   Request` answer carries the real primary's location; the client
+///   re-routes and retries **at most once** per call — two 421s in a
+///   row (no primary anywhere) surface to the caller. A dead primary
+///   rotates the hint to the next endpoint, which after a promotion is
+///   exactly where writes should land.
+///
+/// Each underlying connection runs single-attempt ([`RetryPolicy`]
+/// `attempts: 1`): failover to the *next endpoint* is this client's
+/// retry, so per-connection retry loops would only multiply latency.
+pub struct FailoverClient {
+    endpoints: Vec<Endpoint>,
+    policy: RetryPolicy,
+    /// Round-robin cursor for reads.
+    cursor: usize,
+    /// Index of the endpoint writes currently target.
+    primary: usize,
+}
+
+impl FailoverClient {
+    /// Assemble a client over `endpoints` (`host:port` each; the first
+    /// is the initial primary hint). No connection is made until the
+    /// first request. Errors on an empty list.
+    pub fn new(endpoints: &[&str], policy: RetryPolicy) -> io::Result<FailoverClient> {
+        if endpoints.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "FailoverClient needs at least one endpoint",
+            ));
+        }
+        Ok(FailoverClient {
+            endpoints: endpoints.iter().map(|a| Endpoint::new(a)).collect(),
+            policy,
+            cursor: 0,
+            primary: 0,
+        })
+    }
+
+    /// The endpoint index writes currently target.
+    pub fn primary_index(&self) -> usize {
+        self.primary
+    }
+
+    fn dial(&mut self, i: usize) -> io::Result<&mut Client> {
+        let single = RetryPolicy {
+            attempts: 1,
+            ..self.policy.clone()
+        };
+        let ep = &mut self.endpoints[i];
+        if ep.client.is_none() {
+            ep.client = Some(Client::connect_with(&*ep.addr, single)?);
+        }
+        Ok(ep.client.as_mut().expect("just connected"))
+    }
+
+    fn mark_ok(&mut self, i: usize) {
+        let ep = &mut self.endpoints[i];
+        ep.failures = 0;
+        ep.open_until = None;
+    }
+
+    fn mark_failed(&mut self, i: usize) {
+        let ep = &mut self.endpoints[i];
+        ep.client = None;
+        ep.failures += 1;
+        if ep.failures >= CIRCUIT_THRESHOLD {
+            ep.open_until = Some(Instant::now() + CIRCUIT_COOLDOWN);
+        }
+    }
+
+    /// Index of `addr` in the endpoint list, adding it if a 421
+    /// redirect names a primary this client wasn't configured with.
+    fn endpoint_index(&mut self, addr: &str) -> usize {
+        match self.endpoints.iter().position(|e| e.addr == addr) {
+            Some(i) => i,
+            None => {
+                self.endpoints.push(Endpoint::new(addr));
+                self.endpoints.len() - 1
+            }
+        }
+    }
+
+    /// `GET target`, load-balanced across live endpoints. Tries each
+    /// closed-breaker endpoint once; if every breaker is open, tries
+    /// them all anyway (half-open on demand) rather than failing a
+    /// read the deployment could still serve.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
+        let n = self.endpoints.len();
+        let any_available = self.endpoints.iter().any(Endpoint::available);
+        let mut last_err: Option<io::Error> = None;
+        for k in 0..n {
+            let i = (self.cursor + k) % n;
+            if any_available && !self.endpoints[i].available() {
+                continue;
+            }
+            match self.dial(i).and_then(|c| c.get(target)) {
+                Ok(resp) => {
+                    self.mark_ok(i);
+                    self.cursor = (i + 1) % n;
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.mark_failed(i);
+                    metrics::serve().client_retries.inc();
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no endpoint answered")))
+    }
+
+    /// `POST /v1/append` with an `Idempotency-Key`, routed to the
+    /// primary. Follows one 421 redirect; rotates the hint past dead
+    /// endpoints (trying each at most once) so a promoted follower is
+    /// found without operator help.
+    pub fn append_idempotent(&mut self, body: &Json, key: &str) -> io::Result<(u16, Json)> {
+        let n = self.endpoints.len();
+        let mut redirects = 0u32;
+        let mut attempts = 0usize;
+        let mut last_err: Option<io::Error> = None;
+        while attempts <= n {
+            let i = self.primary;
+            match self.dial(i).and_then(|c| c.append_idempotent(body, key)) {
+                Ok((421, resp)) => {
+                    // The endpoint is alive — just not the primary.
+                    self.mark_ok(i);
+                    let named = resp.get("primary").and_then(Json::as_str).map(String::from);
+                    match named {
+                        Some(addr) if redirects == 0 => {
+                            redirects = 1;
+                            self.primary = self.endpoint_index(&addr);
+                            attempts += 1;
+                        }
+                        // Second 421, or a 421 that names no primary:
+                        // the caller decides, this client won't loop.
+                        _ => return Ok((421, resp)),
+                    }
+                }
+                Ok(resp) => {
+                    self.mark_ok(i);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.mark_failed(i);
+                    metrics::serve().client_retries.inc();
+                    self.primary = (i + 1) % self.endpoints.len();
+                    last_err = Some(e);
+                    attempts += 1;
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no endpoint accepted the write")))
     }
 }
 

@@ -231,6 +231,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",

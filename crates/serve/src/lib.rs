@@ -58,8 +58,9 @@
 //! | [`cache`]   | sharded LRU keyed by `(op, path)`, epoch-stamped against appends |
 //! | [`http`]    | hand-rolled HTTP/1.1 subset: obs-fold headers, pipelining, typed 4xx errors |
 //! | [`json`]    | minimal JSON parser/renderer for the wire protocol |
-//! | [`client`]  | blocking keep-alive client: timeouts, jittered retry/backoff, idempotent appends |
-//! | [`metrics`] | the `cinct_serve_*` metric catalog |
+//! | [`client`]  | blocking keep-alive client: timeouts, jittered retry/backoff, idempotent appends; [`FailoverClient`] load-balances a replicated deployment |
+//! | [`replica`] | the follower's pull loop: WAL shipping, snapshot bootstrap, lag gauges |
+//! | [`metrics`] | the `cinct_serve_*` and `cinct_repl_*` metric catalogs |
 //!
 //! # Durability
 //!
@@ -86,10 +87,12 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod replica;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheOp, CachedValue, QueryCache};
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, FailoverClient, RetryPolicy};
+pub use replica::{Replicator, StepOutcome};
 pub use server::{ResolvedConfig, ServeConfig, Server, ServerHandle};
 pub use service::{AppendOutcome, CorpusService, ServiceStats};

@@ -57,6 +57,27 @@ pub struct ServeMetrics {
     /// statuses). Lives in the serve catalog so server and client
     /// processes share one registry.
     pub client_retries: Arc<Counter>,
+    /// Replication role: 0 = primary (accepts writes), 1 = follower
+    /// (read-only, pulling a primary's WAL).
+    pub repl_role: Arc<Gauge>,
+    /// Records behind the primary's tip (follower only; 0 when caught
+    /// up or when primary).
+    pub repl_lag_records: Arc<Gauge>,
+    /// Last sequence number this node has applied/journaled (its WAL
+    /// `next_seq`); on a follower, primary tip minus this is the lag.
+    pub repl_lag_seq: Arc<Gauge>,
+    /// WAL records applied from a replication stream (follower side).
+    pub repl_records_applied: Arc<Counter>,
+    /// WAL records served to followers over `/repl/wal`.
+    pub repl_records_shipped: Arc<Counter>,
+    /// Snapshot streams served to bootstrapping followers.
+    pub repl_snapshots_served: Arc<Counter>,
+    /// Snapshot bootstraps this node performed as a follower.
+    pub repl_bootstraps: Arc<Counter>,
+    /// Sealed WAL segments reclaimed after every follower passed them.
+    pub repl_segments_reclaimed: Arc<Counter>,
+    /// Promotions this node performed (follower → primary).
+    pub repl_promotions: Arc<Counter>,
 }
 
 /// Serving metric handles (resolved once, then lock-free).
@@ -129,6 +150,42 @@ pub fn serve() -> &'static ServeMetrics {
             client_retries: r.counter(
                 "cinct_client_retries_total",
                 "HTTP client retries after IO errors or retryable statuses",
+            ),
+            repl_role: r.gauge(
+                "cinct_repl_role",
+                "Replication role: 0 = primary, 1 = follower",
+            ),
+            repl_lag_records: r.gauge(
+                "cinct_repl_lag_records",
+                "Records behind the primary's replication tip",
+            ),
+            repl_lag_seq: r.gauge(
+                "cinct_repl_lag_seq",
+                "Last sequence number applied/journaled locally",
+            ),
+            repl_records_applied: r.counter(
+                "cinct_repl_records_applied_total",
+                "WAL records applied from a replication stream",
+            ),
+            repl_records_shipped: r.counter(
+                "cinct_repl_records_shipped_total",
+                "WAL records served to followers over /repl/wal",
+            ),
+            repl_snapshots_served: r.counter(
+                "cinct_repl_snapshots_served_total",
+                "Snapshot streams served to bootstrapping followers",
+            ),
+            repl_bootstraps: r.counter(
+                "cinct_repl_bootstraps_total",
+                "Snapshot bootstraps performed as a follower",
+            ),
+            repl_segments_reclaimed: r.counter(
+                "cinct_repl_segments_reclaimed_total",
+                "Sealed WAL segments reclaimed after followers passed them",
+            ),
+            repl_promotions: r.counter(
+                "cinct_repl_promotions_total",
+                "Promotions performed (follower to primary)",
             ),
         }
     })

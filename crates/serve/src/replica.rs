@@ -1,0 +1,258 @@
+//! The follower half of WAL-shipping replication.
+//!
+//! A [`Replicator`] belongs to a follower process (`cinct serve
+//! --replica-of`). It long-polls the primary's `/repl/wal` from its own
+//! WAL position, applies the returned records through
+//! [`CorpusService::apply_replicated`] — which re-journals them under
+//! the **primary's** sequence numbers, so a restarted follower resumes
+//! from exactly the right place — and snapshot-bootstraps over
+//! `/repl/snapshot` when the history it needs has been reclaimed on
+//! the primary.
+//!
+//! The pull loop is deliberately split in two:
+//!
+//! * [`Replicator::step`] — **one** synchronous pull-and-apply round on
+//!   the calling thread. This is the testing seam: the fault matrix
+//!   arms `cinct::faultio` on the test thread and drives `step`
+//!   directly, so an injected crash fires inside the follower's journal
+//!   writes deterministically.
+//! * [`Replicator::run`] — the production loop: `step` until the stop
+//!   flag rises or the node stops being a follower (promotion), backing
+//!   off briefly when the primary is unreachable so a partition costs
+//!   reconnect attempts, not a busy spin.
+//!
+//! After every round the replicator publishes its position into the
+//! `cinct_repl_lag_records` / `cinct_repl_lag_seq` gauges, which
+//! `/healthz` and `/metrics` expose — lag is observable on the follower
+//! itself, where routing decisions get made.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use cinct::WalRecord;
+
+use crate::client::{Client, RetryPolicy};
+use crate::json::Json;
+use crate::metrics;
+use crate::server::ServerHandle;
+use crate::service::CorpusService;
+
+/// Default long-poll budget asked of the primary per pull. Kept under
+/// the client's read timeout so a quiet primary answers empty instead
+/// of looking dead.
+const DEFAULT_POLL_MS: u64 = 2_000;
+
+/// Backoff between reconnect attempts while the primary is unreachable.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(300);
+
+/// What one [`Replicator::step`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Pulled and applied this many records.
+    Applied(usize),
+    /// The needed history was reclaimed; bootstrapped from a snapshot
+    /// and re-based the local WAL at the returned position.
+    Bootstrapped(u64),
+    /// The primary had nothing past the local position.
+    CaughtUp,
+    /// This node is no longer a follower (it was promoted); the pull
+    /// loop should stop.
+    NotFollower,
+}
+
+/// The follower-side pull/apply engine. See the module docs.
+pub struct Replicator {
+    handle: ServerHandle,
+    primary: String,
+    id: String,
+    dir: PathBuf,
+    poll_ms: u64,
+    client: Option<Client>,
+}
+
+impl Replicator {
+    /// Assemble a replicator for the server behind `handle`, pulling
+    /// from `primary` (a `host:port`). `id` names this follower in the
+    /// primary's registry (its reclaim floor); `dir` is the local
+    /// corpus directory a snapshot bootstrap installs into.
+    pub fn new(handle: ServerHandle, primary: &str, id: &str, dir: PathBuf) -> Replicator {
+        Replicator {
+            handle,
+            primary: primary.to_string(),
+            id: id.to_string(),
+            dir,
+            poll_ms: DEFAULT_POLL_MS,
+            client: None,
+        }
+    }
+
+    /// Override the per-pull long-poll budget (ms). `0` makes every
+    /// pull answer immediately — what the tests use to stay in control
+    /// of time.
+    pub fn poll_ms(mut self, ms: u64) -> Replicator {
+        self.poll_ms = ms;
+        self
+    }
+
+    fn service(&self) -> &CorpusService {
+        self.handle.service()
+    }
+
+    fn client(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_with(&*self.primary, RetryPolicy::none())?);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// One synchronous pull-and-apply round on the calling thread.
+    /// Errors drop the connection (the next step redials), so a
+    /// partition surfaces as `Err` per round, never a wedged state.
+    pub fn step(&mut self) -> io::Result<StepOutcome> {
+        if !self.handle.is_follower() {
+            return Ok(StepOutcome::NotFollower);
+        }
+        let from = self
+            .service()
+            .wal_next_seq()
+            .ok_or_else(|| io::Error::other("replication requires a WAL-backed corpus"))?;
+        let target = format!(
+            "/repl/wal?from={from}&follower={}&wait_ms={}",
+            self.id, self.poll_ms
+        );
+        let pulled = (|| {
+            let client = self.client()?;
+            let (status, text) = client.get(&target)?;
+            if status != 200 {
+                return Err(io::Error::other(format!(
+                    "primary answered {status} to {target}: {text}"
+                )));
+            }
+            Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })();
+        let body = match pulled {
+            Ok(b) => b,
+            Err(e) => {
+                self.client = None;
+                return Err(e);
+            }
+        };
+        if body
+            .get("wal_compacted")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+        {
+            return self.bootstrap();
+        }
+        let records = parse_records(&body)?;
+        let primary_seq = body
+            .get("primary_seq")
+            .and_then(Json::as_usize)
+            .unwrap_or(0) as u64;
+        let applied = if records.is_empty() {
+            0
+        } else {
+            self.service()
+                .apply_replicated(&records)
+                .map_err(|e| io::Error::other(format!("apply failed: {e}")))?
+        };
+        self.publish_lag(primary_seq);
+        Ok(if applied == 0 && records.is_empty() {
+            StepOutcome::CaughtUp
+        } else {
+            StepOutcome::Applied(applied)
+        })
+    }
+
+    /// Full-state transfer: fetch `/repl/snapshot`, install it, re-base
+    /// the local WAL at the absorbed position.
+    fn bootstrap(&mut self) -> io::Result<StepOutcome> {
+        let fetched = (|| {
+            let client = self.client()?;
+            let (status, bytes) = client.get_bytes("/repl/snapshot")?;
+            if status != 200 {
+                return Err(io::Error::other(format!(
+                    "primary answered {status} to /repl/snapshot"
+                )));
+            }
+            Ok(bytes)
+        })();
+        let bytes = match fetched {
+            Ok(b) => b,
+            Err(e) => {
+                self.client = None;
+                return Err(e);
+            }
+        };
+        let absorbed = self
+            .service()
+            .bootstrap_snapshot(&self.dir, &bytes)
+            .map_err(|e| io::Error::other(format!("snapshot install failed: {e}")))?;
+        self.publish_lag(absorbed);
+        Ok(StepOutcome::Bootstrapped(absorbed))
+    }
+
+    /// Publish this follower's position into the lag gauges.
+    fn publish_lag(&self, primary_seq: u64) {
+        let local = self.service().wal_next_seq().unwrap_or(0);
+        let m = metrics::serve();
+        m.repl_lag_seq.set(local);
+        m.repl_lag_records.set(primary_seq.saturating_sub(local));
+    }
+
+    /// Pull until `stop` rises or this node stops being a follower.
+    /// Unreachable-primary rounds back off briefly and retry — a
+    /// partition heals into catch-up, not a dead replica.
+    pub fn run(&mut self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            match self.step() {
+                Ok(StepOutcome::NotFollower) => return,
+                Ok(_) => {}
+                Err(_) => std::thread::sleep(RECONNECT_BACKOFF),
+            }
+        }
+    }
+}
+
+/// Decode the `records` array of a `/repl/wal` response.
+fn parse_records(body: &Json) -> io::Result<Vec<WalRecord>> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("/repl/wal: {what}"));
+    let arr = body
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("no records array"))?;
+    let mut records = Vec::with_capacity(arr.len());
+    for rec in arr {
+        let seq = rec
+            .get("seq")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("record without a seq"))? as u64;
+        let key = rec
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let batch_json = rec
+            .get("batch")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("record without a batch"))?;
+        let mut batch = Vec::with_capacity(batch_json.len());
+        for traj in batch_json {
+            let symbols = traj
+                .as_arr()
+                .ok_or_else(|| bad("trajectory is not an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_usize()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| bad("trajectory symbol out of range"))
+                })
+                .collect::<io::Result<Vec<u32>>>()?;
+            batch.push(symbols);
+        }
+        records.push(WalRecord { seq, key, batch });
+    }
+    Ok(records)
+}

@@ -38,13 +38,13 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use std::{io, thread};
 
-use cinct::{QueryError, ShardedCinct, Wal, WalRecord};
+use cinct::{QueryError, ShardedCinct, Wal, WalRead, WalRecord};
 
 use crate::http::{self, Limits, NextRequest, Request, Response};
 use crate::json::{self, obj, obj_move, Json};
@@ -58,6 +58,19 @@ const IDLE_TICK: Duration = Duration::from_millis(500);
 
 /// Deadline re-check stride inside batched requests.
 const BATCH_DEADLINE_STRIDE: usize = 32;
+
+/// Ceiling on how long `/repl/wal` blocks waiting for the tip to move
+/// before answering empty (the follower just polls again). Bounded so
+/// a drain is never held hostage by an idle long-poll.
+const REPL_POLL_MAX: Duration = Duration::from_secs(10);
+
+/// Records per `/repl/wal` response. Bounds response memory on a badly
+/// lagged follower; the next pull continues from `next`.
+const REPL_BATCH_MAX: usize = 1024;
+
+/// Replication roles (the `role` field of [`ServerState`]).
+const ROLE_PRIMARY: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
 
 /// Server knobs. `0` means "auto" on every thread-shaped knob, the
 /// workspace-wide convention.
@@ -159,11 +172,33 @@ struct ServerState {
     cfg: ResolvedConfig,
     addr: SocketAddr,
     draining: AtomicBool,
+    /// [`ROLE_PRIMARY`] (accepts writes) or [`ROLE_FOLLOWER`]
+    /// (read-only replica: appends answer 421).
+    role: AtomicU8,
+    /// Where writes should go while this node is a follower — returned
+    /// verbatim in 421 bodies so clients can re-route themselves.
+    primary_url: Mutex<Option<String>>,
 }
 
 impl ServerState {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    fn is_follower(&self) -> bool {
+        self.role.load(Ordering::Acquire) == ROLE_FOLLOWER
+    }
+
+    /// Follower → primary. Idempotent; returns whether a flip happened.
+    fn promote(&self) -> bool {
+        if self.role.swap(ROLE_PRIMARY, Ordering::AcqRel) != ROLE_FOLLOWER {
+            return false;
+        }
+        let m = metrics::serve();
+        m.repl_role.set(0);
+        m.repl_promotions.inc();
+        *self.primary_url.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        true
     }
 
     /// Flip the drain flag and wake the accept loop (idempotent).
@@ -217,6 +252,33 @@ impl ServerHandle {
     /// save-on-drain use to reach the live corpus.
     pub fn service(&self) -> &CorpusService {
         &self.state.service
+    }
+
+    /// Mark this server a read-only **follower** of `primary` (a
+    /// `host:port`): from the next request on, `/v1/append` answers
+    /// `421 Misdirected Request` with the primary's location in the
+    /// body. Called by `cinct serve --replica-of` before traffic, and
+    /// reversible with [`ServerHandle::promote`].
+    pub fn set_replica_of(&self, primary: &str) {
+        *self
+            .state
+            .primary_url
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(primary.to_string());
+        self.state.role.store(ROLE_FOLLOWER, Ordering::Release);
+        metrics::serve().repl_role.set(1);
+    }
+
+    /// Promote a follower to primary: writes are accepted from the
+    /// next request on (also reachable as `POST /admin/promote`).
+    /// Idempotent; returns whether a flip actually happened.
+    pub fn promote(&self) -> bool {
+        self.state.promote()
+    }
+
+    /// Whether this server is currently a read-only follower.
+    pub fn is_follower(&self) -> bool {
+        self.state.is_follower()
     }
 }
 
@@ -281,6 +343,8 @@ impl Server {
                 cfg: resolved,
                 addr,
                 draining: AtomicBool::new(false),
+                role: AtomicU8::new(ROLE_PRIMARY),
+                primary_url: Mutex::new(None),
             }),
         })
     }
@@ -414,47 +478,233 @@ fn dispatch(state: &ServerState, req: &Request, started: Instant) -> Response {
         "/v1/extract",
         "/v1/append",
     ];
-    match (req.method.as_str(), req.target.as_str()) {
-        // Health is one word, most-degraded-wins: a draining server is
-        // about to disappear (stop routing to it), a degraded one
-        // serves but with shards quarantined, `ok` means the whole
-        // corpus is live. Always 200: every state still answers
-        // queries, and probes distinguish by body, not status.
-        ("GET", "/healthz") => {
-            let body = if state.draining() {
-                "draining\n"
-            } else if state.service.degraded() {
-                "degraded\n"
-            } else {
-                "ok\n"
-            };
-            Response::text(200, body)
-        }
+    // The target may carry a query string (`/repl/wal?from=3`): route
+    // on the path, hand the query to the handler.
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.target.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => healthz_response(state),
         ("GET", "/metrics") => {
             metrics::register_all();
             Response::text(200, &cinct_obs::global().render_prometheus())
         }
         ("GET", "/v1/stats") => stats_response(state),
+        ("GET", "/repl/snapshot") => repl_snapshot(state),
+        ("GET", "/repl/wal") => repl_wal(state, query),
         ("POST", "/admin/shutdown") => {
             state.begin_drain();
             Response::json(200, &obj(&[("draining", true.into())]))
         }
-        ("POST", target) if API.contains(&target) => handle_api(state, target, req, started),
-        (_, target)
-            if API.contains(&target)
+        ("POST", "/admin/promote") => {
+            let promoted = state.promote();
+            Response::json(
+                200,
+                &obj(&[("role", "primary".into()), ("promoted", promoted.into())]),
+            )
+        }
+        ("POST", p) if API.contains(&p) => handle_api(state, p, req, started),
+        (_, p)
+            if API.contains(&p)
                 || matches!(
-                    target,
-                    "/healthz" | "/metrics" | "/v1/stats" | "/admin/shutdown"
+                    p,
+                    "/healthz"
+                        | "/metrics"
+                        | "/v1/stats"
+                        | "/admin/shutdown"
+                        | "/admin/promote"
+                        | "/repl/snapshot"
+                        | "/repl/wal"
                 ) =>
         {
             Response::error(
                 405,
                 "method_not_allowed",
-                &format!("{} does not accept {}", target, req.method),
+                &format!("{} does not accept {}", p, req.method),
             )
         }
-        (_, target) => Response::error(404, "not_found", &format!("no route for {target}")),
+        (_, p) => Response::error(404, "not_found", &format!("no route for {p}")),
     }
+}
+
+/// Health is JSON, but `status` keeps the one-word most-degraded-wins
+/// taxonomy: a draining server is about to disappear (stop routing to
+/// it), a degraded one serves with shards quarantined, `ok` means the
+/// whole corpus is live. Always 200 — every state still answers
+/// queries, and probes distinguish by body, not status. The rest of
+/// the body is what an operator routes on: role, WAL position,
+/// follower count, replication lag.
+fn healthz_response(state: &ServerState) -> Response {
+    let status = if state.draining() {
+        "draining"
+    } else if state.service.degraded() {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let role = if state.is_follower() {
+        "follower"
+    } else {
+        "primary"
+    };
+    let s = state.service.stats();
+    let m = metrics::serve();
+    let mut repl = vec![
+        ("followers", s.followers.into()),
+        ("lag_records", m.repl_lag_records.get().into()),
+    ];
+    let primary = state
+        .primary_url
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    if let Some(p) = primary {
+        repl.push(("primary", p.into()));
+    }
+    Response::json(
+        200,
+        &obj_move(vec![
+            ("status", status.into()),
+            ("role", role.into()),
+            (
+                "wal",
+                obj(&[
+                    ("enabled", s.wal_enabled.into()),
+                    ("pending", s.wal_pending.into()),
+                    ("last_seq", s.wal_next_seq.saturating_sub(1).into()),
+                    ("next_seq", s.wal_next_seq.into()),
+                ]),
+            ),
+            ("replication", obj_move(repl)),
+        ]),
+    )
+}
+
+/// Value of `name` in an `a=1&b=2` query string. No percent-decoding —
+/// the replication protocol uses plain tokens only.
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then_some(v)
+    })
+}
+
+/// `GET /repl/snapshot`: a consistent corpus snapshot plus the WAL
+/// position it absorbs, for a bootstrapping follower.
+fn repl_snapshot(state: &ServerState) -> Response {
+    match state.service.snapshot_stream() {
+        Ok(bytes) => Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body: bytes,
+            keep_alive: true,
+            retry_after_secs: None,
+        },
+        Err(e) => query_error_response(&e),
+    }
+}
+
+/// `GET /repl/wal?from=N[&follower=id][&wait_ms=T]`: the shipping half
+/// of replication. Registers the follower's position (the reclaim
+/// floor), long-polls until the tip passes `from` (bounded by
+/// [`REPL_POLL_MAX`]), then answers with the retained records from
+/// `from` — or `wal_compacted` when that history was reclaimed and the
+/// follower must bootstrap from a snapshot instead.
+fn repl_wal(state: &ServerState, query: &str) -> Response {
+    let Some(from) = query_param(query, "from").and_then(|v| v.parse::<u64>().ok()) else {
+        return Response::error(
+            400,
+            "invalid_input",
+            "repl/wal needs a numeric \"from\" query parameter",
+        );
+    };
+    let svc = &state.service;
+    if svc.wal_next_seq().is_none() {
+        return Response::error(
+            422,
+            "replication_unsupported",
+            "this server has no WAL to replicate (serve a saved directory)",
+        );
+    }
+    if let Some(id) = query_param(query, "follower") {
+        svc.register_follower(id, from);
+    }
+    let wait_ms = query_param(query, "wait_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    // A draining server answers immediately so the follower notices
+    // and can fail over instead of blocking on a corpse.
+    if wait_ms > 0 && !state.draining() {
+        let wait = Duration::from_millis(wait_ms).min(REPL_POLL_MAX);
+        svc.wait_for_tip(from, wait);
+    }
+    match svc.wal_read_from(from) {
+        Ok(WalRead::Compacted { oldest }) => Response::json(
+            200,
+            &obj(&[("wal_compacted", true.into()), ("oldest", oldest.into())]),
+        ),
+        Ok(WalRead::Records(mut records)) => {
+            records.truncate(REPL_BATCH_MAX);
+            let next = records.last().map_or(from, |r| r.seq + 1);
+            if !records.is_empty() {
+                metrics::serve()
+                    .repl_records_shipped
+                    .add(records.len() as u64);
+            }
+            Response::json(
+                200,
+                &obj_move(vec![
+                    (
+                        "records",
+                        Json::Arr(records.into_iter().map(wal_record_json).collect()),
+                    ),
+                    ("next", next.into()),
+                    ("primary_seq", svc.wal_next_seq().unwrap_or(0).into()),
+                ]),
+            )
+        }
+        Err(e) => query_error_response(&e),
+    }
+}
+
+fn wal_record_json(r: WalRecord) -> Json {
+    obj_move(vec![
+        ("seq", r.seq.into()),
+        ("key", r.key.into()),
+        (
+            "batch",
+            Json::Arr(r.batch.into_iter().map(Json::from).collect()),
+        ),
+    ])
+}
+
+/// The follower's answer to a write: `421 Misdirected Request` with
+/// the primary's location in the body, so a client can re-route.
+fn misdirected(state: &ServerState) -> Response {
+    let primary = state
+        .primary_url
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_default();
+    Response::json(
+        421,
+        &obj(&[
+            (
+                "error",
+                obj(&[
+                    ("kind", "not_primary".into()),
+                    (
+                        "message",
+                        "this node is a read-only follower; send writes to the primary".into(),
+                    ),
+                    ("status", 421usize.into()),
+                ]),
+            ),
+            ("primary", primary.into()),
+        ]),
+    )
 }
 
 /// The quarantine report, serialized once per degraded response.
@@ -508,8 +758,18 @@ fn stats_response(state: &ServerState) -> Response {
             obj(&[
                 ("enabled", s.wal_enabled.into()),
                 ("pending", s.wal_pending.into()),
+                ("next_seq", s.wal_next_seq.into()),
             ]),
         ),
+        (
+            "role",
+            if state.is_follower() {
+                "follower".into()
+            } else {
+                "primary".into()
+            },
+        ),
+        ("followers", s.followers.into()),
         ("workers", cfg.workers.into()),
         ("fan_out_threads", s.fan_out_threads.into()),
         ("host_parallelism", cfg.host_parallelism.into()),
@@ -811,6 +1071,11 @@ fn handle_extract(state: &ServerState, body: &Json) -> Result<Response, QueryErr
 }
 
 fn handle_append(state: &ServerState, req: &Request, body: &Json) -> Result<Response, QueryError> {
+    // A follower is read-only: its corpus is a replica of the
+    // primary's WAL, and a locally-applied write would fork it.
+    if state.is_follower() {
+        return Ok(misdirected(state));
+    }
     let Some(batch) = body.get("batch").and_then(Json::as_arr) else {
         return Ok(Response::error(
             400,

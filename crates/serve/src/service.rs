@@ -24,11 +24,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use cinct::{
-    QuarantinedShard, Query, QueryEngine, QueryError, QueryValue, ShardedCinct, Wal, WalRecord,
+    QuarantinedShard, Query, QueryEngine, QueryError, QueryValue, ShardedCinct, Wal, WalRead,
+    WalRecord,
 };
 use cinct_fmindex::PathQuery;
 
@@ -89,6 +90,11 @@ pub struct ServiceStats {
     pub wal_enabled: bool,
     /// WAL records journaled since the last snapshot (0 without a WAL).
     pub wal_pending: usize,
+    /// Sequence number the next WAL append will receive — one past the
+    /// replication log's last record (0 without a WAL).
+    pub wal_next_seq: u64,
+    /// Followers that have registered on the replication stream.
+    pub followers: usize,
 }
 
 /// Bounded FIFO map from idempotency key to the outcome it produced.
@@ -135,6 +141,15 @@ pub struct CorpusService {
     /// Quarantine report snapshotted at construction. Quarantine only
     /// happens at open time, so the snapshot never goes stale.
     quarantined: Vec<QuarantinedShard>,
+    /// Replication-log tip (the WAL's `next_seq`), mirrored outside the
+    /// WAL mutex so `/repl/wal` long-polls can block on the condvar
+    /// without contending the append path.
+    tip: Mutex<u64>,
+    tip_cv: Condvar,
+    /// Followers registered on the replication stream: follower id →
+    /// the next sequence number it still needs. Sealed WAL segments
+    /// below the minimum of these are the only ones reclaim may drop.
+    followers: Mutex<HashMap<String, u64>>,
 }
 
 impl CorpusService {
@@ -188,12 +203,16 @@ impl CorpusService {
         wal: Option<Wal>,
     ) -> Self {
         let quarantined = corpus.quarantined().to_vec();
+        let tip = wal.as_ref().map_or(0, |w| w.next_seq());
         let svc = CorpusService {
             corpus: RwLock::new(corpus),
             cache: QueryCache::new(cache_capacity, cache_shards),
             wal: wal.map(Mutex::new),
             idem: Mutex::new(IdemRegistry::default()),
             quarantined,
+            tip: Mutex::new(tip),
+            tip_cv: Condvar::new(),
+            followers: Mutex::new(HashMap::new()),
         };
         metrics::serve().epoch.set(0);
         metrics::serve()
@@ -529,12 +548,13 @@ impl CorpusService {
                         return Ok(hit);
                     }
                 }
-                wal.append(key.unwrap_or(""), batch)?;
+                let seq = wal.append(key.unwrap_or(""), batch)?;
                 let outcome = self.install(prepared);
                 if let Some(key) = key {
                     let mut idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
                     idem.insert(key, &outcome);
                 }
+                self.note_tip(seq + 1);
                 outcome
             }
             None => match key {
@@ -578,6 +598,15 @@ impl CorpusService {
 
     /// Snapshot for the stats endpoint.
     pub fn stats(&self) -> ServiceStats {
+        let (wal_pending, wal_next_seq) = self.wal.as_ref().map_or((0, 0), |w| {
+            let w = w.lock().unwrap_or_else(|e| e.into_inner());
+            (w.pending(), w.next_seq())
+        });
+        let followers = self
+            .followers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
         let corpus = self.read();
         ServiceStats {
             shards: corpus.num_shards(),
@@ -593,28 +622,212 @@ impl CorpusService {
             degraded: self.degraded(),
             quarantined_shards: self.quarantined.len(),
             wal_enabled: self.wal.is_some(),
-            wal_pending: self
-                .wal
-                .as_ref()
-                .map_or(0, |w| w.lock().unwrap_or_else(|e| e.into_inner()).pending()),
+            wal_pending,
+            wal_next_seq,
+            followers,
         }
     }
 
     /// Persist the live corpus (graceful-shutdown durability for served
-    /// appends), then truncate the WAL: everything journaled is now in
-    /// the snapshot. The WAL lock is held across both so no append can
-    /// journal between the save and the truncation and be lost. Takes
-    /// the corpus read lock: concurrent queries proceed, appends wait
-    /// out the save.
+    /// appends), then **retire** the WAL's active segment: everything
+    /// journaled is now in the manifest, so the segment is sealed (kept
+    /// on disk for lagging followers) and a fresh one started. The WAL
+    /// lock is held across both so no append can journal between the
+    /// save and the seal and be lost. Takes the corpus read lock:
+    /// concurrent queries proceed, appends wait out the save. Finally,
+    /// sealed segments every registered follower has passed are
+    /// reclaimed — a follower that never comes back would otherwise pin
+    /// history forever, so callers can drop it from the registry with
+    /// [`CorpusService::forget_follower`] first.
     pub fn save_dir(&self, dir: &std::path::Path) -> Result<(), QueryError> {
         match &self.wal {
             Some(wal) => {
                 let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
-                self.read().save_dir(dir)?;
-                wal.truncate()
+                // Stamp the absorbed WAL position into the manifest: the
+                // WAL lock is held, so the corpus holds exactly the
+                // records below `next_seq`. If we crash after the
+                // manifest rename but before the retire below, replay
+                // skips the absorbed records instead of applying them
+                // twice.
+                self.read()
+                    .save_dir_at(dir, cinct::Durability::Durable, wal.next_seq())?;
+                wal.retire()?;
+                let floor = {
+                    let followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+                    followers.values().copied().min().unwrap_or(u64::MAX)
+                };
+                let reclaimed = wal.reclaim(floor)?;
+                if reclaimed > 0 {
+                    metrics::serve()
+                        .repl_segments_reclaimed
+                        .add(reclaimed as u64);
+                }
+                Ok(())
             }
             None => self.read().save_dir(dir),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication: the primary-side stream and the follower-side apply.
+    // ------------------------------------------------------------------
+
+    /// Mirror the WAL tip (its `next_seq`) for long-pollers and wake
+    /// them. Called after every successful journaled append.
+    fn note_tip(&self, next_seq: u64) {
+        let mut tip = self.tip.lock().unwrap_or_else(|e| e.into_inner());
+        if next_seq > *tip {
+            *tip = next_seq;
+            self.tip_cv.notify_all();
+        }
+    }
+
+    /// Block until the replication log holds a record at-or-after
+    /// `from` (i.e. the tip moves past it) or `timeout` elapses; returns
+    /// the current tip either way. The long-poll half of `/repl/wal`.
+    pub fn wait_for_tip(&self, from: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut tip = self.tip.lock().unwrap_or_else(|e| e.into_inner());
+        while *tip <= from {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _) = self
+                .tip_cv
+                .wait_timeout(tip, left)
+                .unwrap_or_else(|e| e.into_inner());
+            tip = guard;
+        }
+        *tip
+    }
+
+    /// Sequence number the next journaled append will receive (`None`
+    /// without a WAL — a memory-only corpus has no replication log).
+    pub fn wal_next_seq(&self) -> Option<u64> {
+        self.wal
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).next_seq())
+    }
+
+    /// Read the replication log at-or-after `from` — the record source
+    /// behind `/repl/wal`. Errors without a WAL.
+    pub fn wal_read_from(&self, from: u64) -> Result<WalRead, QueryError> {
+        let wal = self.wal.as_ref().ok_or_else(|| {
+            QueryError::InvalidInput("replication requires a WAL (serve a saved directory)".into())
+        })?;
+        let wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+        wal.read_from(from)
+    }
+
+    /// Record (or refresh) a follower's position: `from` is the next
+    /// sequence number it still needs. Registered positions are the
+    /// floor below which [`CorpusService::save_dir`] may reclaim sealed
+    /// WAL segments.
+    pub fn register_follower(&self, id: &str, from: u64) {
+        let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+        followers.insert(id.to_owned(), from);
+    }
+
+    /// Drop a follower from the registry (it was decommissioned, or its
+    /// lag is being traded for disk by forcing a snapshot bootstrap).
+    pub fn forget_follower(&self, id: &str) {
+        let mut followers = self.followers.lock().unwrap_or_else(|e| e.into_inner());
+        followers.remove(id);
+    }
+
+    /// Serialize a consistent snapshot of the live corpus plus the WAL
+    /// position it absorbs — the payload behind `/repl/snapshot`. The
+    /// WAL lock freezes the cut point: appends journal under that lock,
+    /// so no record can land between reading `next_seq` and serializing
+    /// the corpus state that includes it.
+    pub fn snapshot_stream(&self) -> Result<Vec<u8>, QueryError> {
+        let wal = self.wal.as_ref().ok_or_else(|| {
+            QueryError::InvalidInput("replication requires a WAL (serve a saved directory)".into())
+        })?;
+        let wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+        let absorbed = wal.next_seq();
+        let stream = self.read().snapshot_to_vec(absorbed)?;
+        metrics::serve().repl_snapshots_served.inc();
+        Ok(stream)
+    }
+
+    /// Replace the local corpus wholesale with a primary's snapshot
+    /// stream — the follower-bootstrap path, taken when the local log
+    /// is behind the primary's oldest retained segment. Installs the
+    /// snapshot into `dir`, swaps it in under the corpus write lock,
+    /// and re-bases the WAL at the absorbed position so pulling resumes
+    /// exactly where the snapshot left off; returns that position.
+    /// Cached results and idempotency keys all predate the new corpus,
+    /// so the epoch advances (evicting cache entries on sight) and the
+    /// key registry is dropped.
+    pub fn bootstrap_snapshot(
+        &self,
+        dir: &std::path::Path,
+        stream: &[u8],
+    ) -> Result<u64, QueryError> {
+        let wal_mutex = self.wal.as_ref().ok_or_else(|| {
+            QueryError::InvalidInput("replication requires a WAL (serve a saved directory)".into())
+        })?;
+        let mut wal = wal_mutex.lock().unwrap_or_else(|e| e.into_inner());
+        let durability = wal.durability();
+        let (mut corpus, absorbed) = ShardedCinct::install_snapshot(dir, stream, durability)?;
+        {
+            let mut live = self.corpus.write().unwrap_or_else(|e| e.into_inner());
+            corpus.set_fan_out_threads(live.fan_out_threads());
+            *live = corpus;
+            self.cache.advance_epoch();
+        }
+        *wal = Wal::create_at(dir, durability, absorbed)?;
+        {
+            let mut idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+            *idem = IdemRegistry::default();
+        }
+        self.note_tip(absorbed);
+        metrics::serve().repl_bootstraps.inc();
+        Ok(absorbed)
+    }
+
+    /// Apply records pulled from a primary, in order: journal each under
+    /// the **primary's** sequence number (so a restart resumes pulling
+    /// from the right position), install it, and register its
+    /// idempotency key — a client retrying a write against a promoted
+    /// follower deduplicates exactly as it would have on the old
+    /// primary. Records below the local tip are skips (already applied);
+    /// a record past it is a gap and fails — the puller must re-fetch.
+    /// Returns how many records were newly applied.
+    pub fn apply_replicated(&self, records: &[WalRecord]) -> Result<usize, QueryError> {
+        let Some(wal_mutex) = self.wal.as_ref() else {
+            return Err(QueryError::InvalidInput(
+                "replication requires a WAL (serve a saved directory)".into(),
+            ));
+        };
+        let mut applied = 0usize;
+        for rec in records {
+            let prepared = self.read().prepare_batch(&rec.batch)?;
+            let mut wal = wal_mutex.lock().unwrap_or_else(|e| e.into_inner());
+            let next = wal.next_seq();
+            if rec.seq < next {
+                continue; // replayed overlap from a re-fetch
+            }
+            if rec.seq > next {
+                return Err(QueryError::InvalidInput(format!(
+                    "replication gap: record {} arrived but local log ends at {next}",
+                    rec.seq
+                )));
+            }
+            wal.append_at(rec.seq, &rec.key, &rec.batch)?;
+            let outcome = self.install(prepared);
+            if !rec.key.is_empty() {
+                let mut idem = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+                idem.insert(&rec.key, &outcome);
+            }
+            self.note_tip(rec.seq + 1);
+            drop(wal);
+            applied += 1;
+            metrics::serve().repl_records_applied.inc();
+        }
+        Ok(applied)
     }
 }
 

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use cinct::{Durability, OpenMode, Path, PathQuery, ShardedBuilder, ShardedCinct, Wal};
 use cinct_serve::json::{obj, Json};
-use cinct_serve::{Client, CorpusService, RetryPolicy, ServeConfig, Server, ServerHandle};
+use cinct_serve::{
+    Client, CorpusService, FailoverClient, RetryPolicy, ServeConfig, Server, ServerHandle,
+};
 
 fn corpus() -> ShardedCinct {
     let trajs = vec![
@@ -225,7 +227,9 @@ fn http_serves_a_degraded_corpus_with_explicit_markers() {
     let mut client = Client::connect(handle.addr()).unwrap();
 
     let (status, body) = client.get("/healthz").unwrap();
-    assert_eq!((status, body.as_str()), (200, "degraded\n"));
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("degraded"));
 
     let (status, resp) = client
         .post_json(
@@ -280,7 +284,14 @@ fn healthz_reports_ok_then_draining() {
     let (handle, join) = start(corpus(), ServeConfig::default());
     let mut client = Client::connect(handle.addr()).unwrap();
     let (status, body) = client.get("/healthz").unwrap();
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("role").unwrap().as_str(), Some("primary"));
+    assert_eq!(
+        health.get("wal").unwrap().get("enabled").unwrap().as_bool(),
+        Some(false)
+    );
     handle.shutdown();
     // The drained server refuses new connections; the flag is what the
     // body would report, so check it directly.
@@ -363,6 +374,132 @@ fn client_does_not_retry_bare_posts() {
     let (status, _) = client.post("/v1/append", r#"{"batch":[[0,1]]}"#).unwrap();
     assert_eq!(status, 503);
     script.join().unwrap();
+}
+
+/// An honored `Retry-After` is capped at the policy's backoff
+/// ceiling: a peer demanding an hour-long pause can't stall the
+/// client past `max_backoff`.
+#[test]
+fn retry_after_beyond_the_ceiling_is_capped() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let script = std::thread::spawn(move || {
+        let (mut c, _) = listener.accept().unwrap();
+        read_one_request(&mut c);
+        c.write_all(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 3600\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        read_one_request(&mut c);
+        c.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n")
+            .unwrap();
+    });
+
+    let mut client = Client::connect_with(
+        addr,
+        RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            timeout: Duration::from_secs(5),
+        },
+    )
+    .unwrap();
+    let start = std::time::Instant::now();
+    let (status, body) = client.get("/probe").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    // The retry honored at most max_backoff (50ms), not the 3600s the
+    // peer asked for. Generous bound for a loaded CI box.
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "Retry-After must be capped at max_backoff, waited {:?}",
+        start.elapsed()
+    );
+    script.join().unwrap();
+}
+
+/// `attempts: 1` is truly single-shot: a 503 carrying a `Retry-After`
+/// comes straight back, with no backoff sleep at all.
+#[test]
+fn single_attempt_policy_never_sleeps() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let script = std::thread::spawn(move || {
+        let (mut c, _) = listener.accept().unwrap();
+        read_one_request(&mut c);
+        c.write_all(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 30\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+    });
+
+    let mut client = Client::connect_with(
+        addr,
+        RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::from_secs(60),
+            max_backoff: Duration::from_secs(60),
+            timeout: Duration::from_secs(5),
+        },
+    )
+    .unwrap();
+    let start = std::time::Instant::now();
+    let (status, _) = client.get("/probe").unwrap();
+    assert_eq!(status, 503);
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "attempts=1 must return without backing off, waited {:?}",
+        start.elapsed()
+    );
+    script.join().unwrap();
+}
+
+/// Answer one request on `listener` with a 421 that names `primary`,
+/// then exit — a scripted not-the-primary peer.
+fn answer_421(listener: TcpListener, primary: String) {
+    let (mut c, _) = listener.accept().unwrap();
+    read_one_request(&mut c);
+    let body = format!("{{\"error\":{{\"kind\":\"not_primary\"}},\"primary\":\"{primary}\"}}");
+    write!(
+        c,
+        "HTTP/1.1 421 Misdirected Request\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+}
+
+/// The failover client follows exactly one 421 redirect. Two peers
+/// each naming the other as primary form a routing loop; the second
+/// 421 surfaces to the caller instead of ping-ponging forever.
+#[test]
+fn failover_client_follows_421_at_most_once() {
+    let a = TcpListener::bind("127.0.0.1:0").unwrap();
+    let b = TcpListener::bind("127.0.0.1:0").unwrap();
+    let a_addr = a.local_addr().unwrap().to_string();
+    let b_addr = b.local_addr().unwrap().to_string();
+
+    let sa = std::thread::spawn({
+        let to = b_addr.clone();
+        move || answer_421(a, to)
+    });
+    let sb = std::thread::spawn({
+        let to = a_addr.clone();
+        move || answer_421(b, to)
+    });
+
+    let mut client = FailoverClient::new(&[a_addr.as_str()], RetryPolicy::none()).unwrap();
+    let body = obj(&[(
+        "batch",
+        Json::Arr(vec![Json::Arr(vec![0u32.into(), 1u32.into()])]),
+    )]);
+    let (status, resp) = client.append_idempotent(&body, "loop-key").unwrap();
+    assert_eq!(status, 421, "{resp:?}");
+    // The surfaced 421 came from peer B (it names A as primary): the
+    // client followed A→B and then stopped.
+    assert_eq!(resp.get("primary").unwrap().as_str(), Some(a_addr.as_str()));
+    sa.join().unwrap();
+    sb.join().unwrap();
 }
 
 /// Read one HTTP request (headers + Content-Length body) off a raw

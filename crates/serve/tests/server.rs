@@ -341,7 +341,9 @@ fn zero_deadline_sheds_queries_with_503() {
     );
     // Health and metrics are exempt from the deadline.
     let (status, body) = client.get("/healthz").unwrap();
-    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
     handle.shutdown();
     join.join().unwrap();
 }
@@ -441,7 +443,8 @@ fn pipelined_requests_on_one_connection() {
     let (s2, r2) = client.read_response().unwrap();
     assert_eq!(s1, 200);
     assert!(r1.contains("\"count\":2"), "{r1}");
-    assert_eq!((s2, r2.as_str()), (200, "ok\n"));
+    assert_eq!(s2, 200);
+    assert!(r2.contains("\"status\":\"ok\""), "{r2}");
     handle.shutdown();
     join.join().unwrap();
 }
