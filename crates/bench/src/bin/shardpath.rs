@@ -19,17 +19,32 @@
 //!    `compact`; append cost is compared against the full sharded
 //!    rebuild, and identity is re-asserted after both steps.
 //!
+//! A fifth section feeds `BENCH_PR10.json`:
+//!
+//! 5. **Shard pruning** — selective counting workloads (patterns built
+//!    around the corpus's rarest edges, `selective_patterns`) timed with
+//!    pruning on vs off vs the monolithic index at each K in
+//!    `CINCT_PRUNE_SHARDS`. The gated ratio is
+//!    `pruned_count_speedup_vs_unpruned` — the fan-out tax the
+//!    edge-membership metadata claws back — plus the vs-monolithic
+//!    ratio the roadmap targets (K=8 within ~1.2x). All three variants
+//!    are asserted outcome-identical on every pattern.
+//!
 //! Run: `cargo run -p cinct_bench --release --bin shardpath`
 //! Knobs: `CINCT_SCALE` (default 0.25), `CINCT_QUERIES` (default 500),
 //! `CINCT_BENCH_REPS` (default 3), `CINCT_SHARDS` (comma list, default
-//! `1,2,4,8`), `CINCT_BENCH_OUT` (default `BENCH_PR5.json`);
-//! `CINCT_BENCH_BASELINE` self-gates speedup ratios against a committed
-//! baseline (`cinct_bench::gate`). See `PERFORMANCE.md` ("Sharded
-//! serving cost model") for interpretation.
+//! `1,2,4,8`), `CINCT_PRUNE_SHARDS` (comma list, default `2,8,32`),
+//! `CINCT_BENCH_OUT` (default `BENCH_PR5.json`), `CINCT_PRUNE_OUT`
+//! (default `BENCH_PR10.json`); `CINCT_BENCH_BASELINE` self-gates
+//! speedup ratios against a committed baseline (`cinct_bench::gate`).
+//! See `PERFORMANCE.md` ("Sharded serving cost model" and "Shard
+//! pruning cost model") for interpretation.
 
 use cinct::engine::{Query, QueryEngine};
 use cinct::{CinctBuilder, CinctIndex, ShardedBuilder, ShardedCinct};
-use cinct_bench::{queries_from_env, sample_patterns, scale_from_env, time_best_of};
+use cinct_bench::{
+    queries_from_env, sample_patterns, scale_from_env, selective_patterns, time_best_of,
+};
 use cinct_fmindex::{Path, PathQuery};
 use std::fmt::Write as _;
 
@@ -43,7 +58,15 @@ const BASE_FRACTION: f64 = 0.75;
 const INGEST_BATCHES: usize = 4;
 
 fn shards_from_env() -> Vec<usize> {
-    std::env::var("CINCT_SHARDS")
+    shard_list("CINCT_SHARDS", &[1, 2, 4, 8])
+}
+
+fn prune_shards_from_env() -> Vec<usize> {
+    shard_list("CINCT_PRUNE_SHARDS", &[2, 8, 32])
+}
+
+fn shard_list(var: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(var)
         .ok()
         .map(|s| {
             s.split(',')
@@ -51,7 +74,7 @@ fn shards_from_env() -> Vec<usize> {
                 .collect::<Vec<usize>>()
         })
         .filter(|v| !v.is_empty())
-        .unwrap_or_else(|| vec![1, 2, 4, 8])
+        .unwrap_or_else(|| default.to_vec())
 }
 
 /// Assert the sharded index answers exactly like the monolithic one:
@@ -300,6 +323,112 @@ fn main() {
         rebuild.as_secs_f64(),
     );
 
+    // --- Section 5: shard pruning on selective workloads. ---
+    //
+    // Membership pruning skips a shard when it lacks *any* pattern edge,
+    // so it pays exactly when per-shard alphabets don't saturate. On the
+    // dense Singapore random walks every edge lands in ~64 trajectories
+    // and all K=8 shard alphabets converge to the full σ=5k — nothing to
+    // skip. The Chess corpus (paper Table III's large-alphabet dataset:
+    // Zipf-picked continuations over a σ≈200k game DAG) is the workload
+    // the metadata exists for: tail edges appear in a handful of games,
+    // so a selective pattern's rarest edge pins it to one or two shards.
+    // PERFORMANCE.md ("Shard pruning cost model") derives the crossover.
+    let prune_counts = prune_shards_from_env();
+    let prune_out =
+        std::env::var("CINCT_PRUNE_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+    let pds = cinct_datasets::chess(scale);
+    let (ptrajs, pn_edges) = (&pds.trajectories, pds.n_edges());
+    let psymbols: usize = ptrajs.iter().map(Vec::len).sum::<usize>() + ptrajs.len() + 1;
+    let pmono = CinctBuilder::new().build(ptrajs, pn_edges);
+    let selective = selective_patterns(ptrajs, PATTERN_LEN, n_queries, 7007);
+    let mono_sel = time_best_of(reps, || {
+        for p in &selective {
+            std::hint::black_box(pmono.count_path(p));
+        }
+    });
+    let mono_sel_ns = ns_per_op(mono_sel, selective.len());
+    println!(
+        "\n== Shard pruning: selective counting (rarest-percentile patterns, {} corpus: \
+         {} trajectories, {} edges, {} symbols) ==\n\
+         monolithic selective count: {mono_sel_ns:.0} ns/op\n",
+        pds.name,
+        ptrajs.len(),
+        pn_edges,
+        psymbols
+    );
+    println!(
+        "{:<8} {:>7} {:>9} {:>13} {:>15} {:>12} {:>12}",
+        "shards", "actual", "skipped", "pruned ns/op", "unpruned ns/op", "vs-unpruned", "vs-mono"
+    );
+    struct PruneRow {
+        requested: usize,
+        actual: usize,
+        skipped_fraction: f64,
+        pruned_ns: f64,
+        unpruned_ns: f64,
+    }
+    let mut prune_rows: Vec<PruneRow> = Vec::new();
+    for &k in &prune_counts {
+        let builder = ShardedBuilder::new().shards(k).threads(0);
+        let mut sharded = builder.build(ptrajs, pn_edges);
+        // Sequential fan-out for the same host-transfer reason as the
+        // gated section-2 ratios: the pruning win is fewer backward
+        // searches, not scope-thread scheduling.
+        sharded.set_fan_out_threads(1);
+        sharded.set_pruning(true);
+        let pruned = time_best_of(reps, || {
+            for p in &selective {
+                std::hint::black_box(sharded.count(Path::new(p)));
+            }
+        });
+        // How much of the fan-out the metadata skipped, decision by
+        // decision (same call the query path makes).
+        let (mut skipped, mut probes) = (0usize, 0usize);
+        for p in &selective {
+            for s in 0..sharded.num_shards() {
+                probes += 1;
+                if sharded.pruned_edge(s, Path::new(p)).is_some() {
+                    skipped += 1;
+                }
+            }
+        }
+        sharded.set_pruning(false);
+        let unpruned = time_best_of(reps, || {
+            for p in &selective {
+                std::hint::black_box(sharded.count(Path::new(p)));
+            }
+        });
+        // Outcome identity: pruning on, pruning off, monolithic.
+        for p in &selective {
+            let want = pmono.count_path(p);
+            assert_eq!(sharded.count(Path::new(p)), want, "unpruned K={k} {p:?}");
+            sharded.set_pruning(true);
+            assert_eq!(sharded.count(Path::new(p)), want, "pruned K={k} {p:?}");
+            sharded.set_pruning(false);
+        }
+        sharded.set_pruning(true);
+        let r = PruneRow {
+            requested: k,
+            actual: sharded.num_shards(),
+            skipped_fraction: skipped as f64 / probes.max(1) as f64,
+            pruned_ns: ns_per_op(pruned, selective.len()),
+            unpruned_ns: ns_per_op(unpruned, selective.len()),
+        };
+        println!(
+            "{:<8} {:>7} {:>8.0}% {:>13.0} {:>15.0} {:>11.2}x {:>11.2}x",
+            r.requested,
+            r.actual,
+            r.skipped_fraction * 100.0,
+            r.pruned_ns,
+            r.unpruned_ns,
+            r.unpruned_ns / r.pruned_ns,
+            mono_sel_ns / r.pruned_ns,
+        );
+        prune_rows.push(r);
+    }
+    println!("\npruned, unpruned and monolithic outcome-identical on every selective pattern");
+
     // --- JSON report. ---
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -361,5 +490,46 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("\nwrote {out_path}");
+
+    // --- Pruning JSON report (its own baseline: BENCH_PR10.json). ---
+    let mut pjson = String::from("{\n");
+    let _ = writeln!(
+        pjson,
+        "  \"meta\": {{\"dataset\": \"{}\", \"scale\": {scale}, \"queries\": {}, \
+         \"reps\": {reps}, \"pattern_len\": {PATTERN_LEN}, \"symbols\": {psymbols}, \
+         \"n_edges\": {pn_edges}, \"host_parallelism\": {}, \
+         \"note\": \"selective patterns contain bottom-percentile-frequency edges, so most \
+         shards can prove non-match from membership metadata alone; the gated ratio is \
+         pruned vs unpruned count time on the same corpus in the same run \
+         (PERFORMANCE.md, Shard pruning cost model)\"}},",
+        pds.name,
+        selective.len(),
+        rayon::current_num_threads()
+    );
+    let _ = writeln!(
+        pjson,
+        "  \"monolithic\": {{\"selective_count_ns_per_op\": {mono_sel_ns:.1}}},"
+    );
+    pjson.push_str("  \"pruning\": [\n");
+    for (i, r) in prune_rows.iter().enumerate() {
+        let _ = writeln!(
+            pjson,
+            "    {{\"shards\": {}, \"actual_shards\": {}, \"skipped_fraction\": {:.4}, \
+             \"pruned_count_ns_per_op\": {:.1}, \"unpruned_count_ns_per_op\": {:.1}, \
+             \"pruned_count_speedup_vs_unpruned\": {:.3}, \
+             \"pruned_count_speedup_vs_mono\": {:.3}, \"identity\": true}}{}",
+            r.requested,
+            r.actual,
+            r.skipped_fraction,
+            r.pruned_ns,
+            r.unpruned_ns,
+            r.unpruned_ns / r.pruned_ns,
+            mono_sel_ns / r.pruned_ns,
+            if i + 1 < prune_rows.len() { "," } else { "" }
+        );
+    }
+    pjson.push_str("  ]\n}\n");
+    std::fs::write(&prune_out, &pjson).expect("write pruning bench JSON");
+    println!("wrote {prune_out}");
     cinct_bench::enforce_baseline_from_env(&json);
 }

@@ -31,7 +31,7 @@ pub use gate::{
 };
 pub use report::Table;
 pub use variants::{build_variant, BuiltIndex, Variant, ALL_VARIANTS};
-pub use workload::{sample_patterns, time_queries, QueryTiming};
+pub use workload::{sample_patterns, selective_patterns, time_queries, QueryTiming};
 
 /// Best-of-`reps` timing: one warm-up pass, then the minimum wall-clock
 /// of `reps` repetitions (the repo's standard protocol — the paper's

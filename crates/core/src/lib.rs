@@ -120,6 +120,7 @@ pub mod et_graph;
 pub mod faultio;
 pub mod index;
 pub mod metrics;
+pub mod prune;
 pub mod rml;
 pub mod shard;
 pub mod stats;
@@ -134,6 +135,7 @@ pub use engine::{BatchReport, Query, QueryEngine, QueryOutcome, QueryValue};
 pub use error::QueryError;
 pub use et_graph::EtGraph;
 pub use index::CinctIndex;
+pub use prune::{EdgeMembership, ShardPruning};
 pub use rml::{LabelingStrategy, Rml};
 pub use shard::{PreparedBatch, QuarantinedShard, ShardPartition, ShardedBuilder, ShardedCinct};
 pub use stats::DatasetStats;

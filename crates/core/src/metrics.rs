@@ -70,13 +70,20 @@ pub fn engine() -> &'static EngineMetrics {
 pub struct ShardMetrics {
     /// Fan-out range computations across the shard set.
     pub fanout_queries: Arc<Counter>,
-    /// Shard probes executed by fan-outs (every shard is visited).
+    /// Shard probes that actually ran a backward search (pruned shards
+    /// are not visited).
     pub fanout_shards_visited: Arc<Counter>,
     /// Shard probes that found the path.
     pub fanout_shards_matched: Arc<Counter>,
     /// Shard probes whose backward search emptied early (path absent in
     /// that shard).
     pub fanout_shards_short_circuited: Arc<Counter>,
+    /// Shards skipped because their edge-membership set ruled out a
+    /// pattern edge — no backward search ran there.
+    pub fanout_shards_pruned: Arc<Counter>,
+    /// Whole fan-outs answered `None` from the corpus-level membership
+    /// union alone (a pattern edge occurs in no shard).
+    pub fanout_union_rejects: Arc<Counter>,
     /// Latency of sealing a batch into a new shard.
     pub append_ns: Arc<Histogram>,
     /// Latency of compacting the corpus to a target shard count.
@@ -104,6 +111,14 @@ pub fn shard() -> &'static ShardMetrics {
             fanout_shards_short_circuited: r.counter(
                 "cinct_fanout_shards_short_circuited_total",
                 "Shard probes whose backward search emptied early",
+            ),
+            fanout_shards_pruned: r.counter(
+                "cinct_fanout_shards_pruned_total",
+                "Shards skipped by edge-membership pruning (no search ran)",
+            ),
+            fanout_union_rejects: r.counter(
+                "cinct_fanout_union_rejects_total",
+                "Fan-outs answered absent from the membership union alone",
             ),
             append_ns: r.histogram("cinct_shard_append_ns", "append_batch latency (ns)"),
             compact_ns: r.histogram("cinct_shard_compact_ns", "compact latency (ns)"),

@@ -15,6 +15,13 @@
 //!   [`cinct_fmindex::OccurIter::fan_out`] with each shard's local IDs
 //!   remapped to the global namespace, so results are comparable
 //!   element-for-element with a monolithic index over the same corpus.
+//! * **Pruned fan-out** — every shard carries [`crate::prune`] metadata
+//!   (edge membership + owned global-ID span), derived at construction
+//!   and persisted in the manifest. Pattern labels are resolved **once
+//!   per query** against the corpus-level membership union, then shards
+//!   whose membership rules out any pattern edge are skipped without a
+//!   backward search — outcome-identical, just cheaper (see
+//!   [`ShardedCinct::shard_ranges`]).
 //! * **Incremental ingest** — [`ShardedCinct::append_batch`] seals a new
 //!   batch of trajectories into a fresh shard (no existing shard is
 //!   touched); [`ShardedCinct::compact`] re-balances back down to a
@@ -64,6 +71,7 @@
 
 use crate::builder::{validate_corpus, CinctBuilder};
 use crate::index::CinctIndex;
+use crate::prune::{EdgeMembership, ShardPruning};
 use crate::rml::LabelingStrategy;
 use cinct_bwt::SYMBOL_OFFSET;
 use cinct_fmindex::{OccurIter, OccurSegment, Path, PathQuery, QueryError};
@@ -109,6 +117,10 @@ pub(crate) struct Shard {
     pub(crate) index: CinctIndex,
     /// `globals[local_id] = global_id`.
     pub(crate) globals: Vec<u32>,
+    /// Pruning metadata: edge membership + owned global-ID span (see
+    /// [`crate::prune`]). Derived from the index at every construction
+    /// site, or restored from a v3 manifest.
+    pub(crate) pruning: ShardPruning,
 }
 
 /// Configurable sharded construction. Mirrors [`CinctBuilder`]'s knobs
@@ -304,9 +316,14 @@ fn build_shards(
     slots
         .into_iter()
         .zip(members)
-        .map(|(idx, m)| Shard {
-            index: idx.expect("every shard slot filled"),
-            globals: m.clone(),
+        .map(|(idx, m)| {
+            let index = idx.expect("every shard slot filled");
+            let pruning = ShardPruning::derive(&index, n_edges, m);
+            Shard {
+                index,
+                globals: m.clone(),
+                pruning,
+            }
         })
         .collect()
 }
@@ -357,6 +374,14 @@ pub struct ShardedCinct {
     /// (`available_parallelism` is a syscall — far too expensive per
     /// query on the hot path).
     fan_threads: usize,
+    /// Union of every shard's edge membership — the corpus-level
+    /// instant-miss check: a pattern edge absent here is absent from
+    /// every shard, so the whole fan-out short-circuits to `None`
+    /// without touching a single shard.
+    prune_union: EdgeMembership,
+    /// Whether fan-outs consult pruning metadata (default on; benches
+    /// flip it off to measure the unpruned fan-out tax).
+    prune_enabled: bool,
     /// Shards a resilient open excluded (empty for a healthy corpus).
     /// Their global IDs are holes in `lookup`.
     quarantined: Vec<QuarantinedShard>,
@@ -434,6 +459,10 @@ impl ShardedCinct {
             bases.push(bases.last().unwrap() + shard.index.text_len());
         }
         let fan_threads = rayon::resolve_threads(config.threads);
+        let mut prune_union = EdgeMembership::for_alphabet(n_edges);
+        for shard in &shards {
+            prune_union.union_with(shard.pruning.membership());
+        }
         Ok(ShardedCinct {
             shards,
             lookup,
@@ -441,6 +470,8 @@ impl ShardedCinct {
             n_edges,
             config,
             fan_threads,
+            prune_union,
+            prune_enabled: true,
             quarantined,
         })
     }
@@ -560,6 +591,47 @@ impl ShardedCinct {
         self.fan_threads
     }
 
+    /// Enable or disable shard pruning for fan-out queries (default:
+    /// enabled). Pruning is outcome-identical either way — a pruned
+    /// shard's backward search would have returned `None` — so this is a
+    /// measurement knob: benches flip it off to record the unpruned
+    /// fan-out tax the metadata saves.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.prune_enabled = enabled;
+    }
+
+    /// Whether fan-out queries consult pruning metadata.
+    pub fn pruning_enabled(&self) -> bool {
+        self.prune_enabled
+    }
+
+    /// The `s`-th shard's pruning metadata (edge membership + global-ID
+    /// span) — what the fan-out's skip decisions are made from.
+    pub fn shard_pruning(&self, s: usize) -> &ShardPruning {
+        &self.shards[s].pruning
+    }
+
+    /// The global trajectory-ID span `(first, last)` shard `s` owns —
+    /// the manifest-level routing hint for ID-constrained lookups.
+    /// (`lookup` already routes point lookups O(1); the span is what the
+    /// manifest persists so a future lazy open can route without loading
+    /// the column.)
+    pub fn shard_id_span(&self, s: usize) -> (u32, u32) {
+        let p = &self.shards[s].pruning;
+        (p.min_global(), p.max_global())
+    }
+
+    /// Why shard `s` would be skipped for `path`, if it would: the first
+    /// pattern edge the shard's membership set rules out. `None` when the
+    /// shard must be searched — or when pruning is disabled. Drives
+    /// `--trace` output and the CI pruning assertions.
+    pub fn pruned_edge(&self, s: usize, path: &Path) -> Option<u32> {
+        if !self.prune_enabled {
+            return None;
+        }
+        self.shards[s].pruning.rules_out(path)
+    }
+
     /// Whether every shard supports locate (occurrence listing needs all
     /// of them to).
     pub fn locate_supported(&self) -> bool {
@@ -574,18 +646,62 @@ impl ShardedCinct {
     /// row intervals behind the virtual [`PathQuery::range`]. Fans out
     /// across shards on the rayon shim when the configured thread knob
     /// (resolved once, at assembly) allows more than one worker.
+    ///
+    /// **Shared-work pruning** (unless [`ShardedCinct::set_pruning`]
+    /// disabled it): the pattern's edge labels are resolved **once per
+    /// query** against the corpus-level membership union — an edge absent
+    /// everywhere ends the fan-out before any shard is touched — then
+    /// each shard's own membership set is probed (O(L) bit tests) and
+    /// shards that cannot match are skipped without running their
+    /// backward search. A skipped shard contributes exactly the `None`
+    /// its search would have returned, so pruned and unpruned fan-outs
+    /// are outcome-identical; skipped-vs-visited counts land in the
+    /// `cinct_obs` shard catalog.
     pub fn shard_ranges(&self, path: &Path) -> Vec<Option<Range<usize>>> {
-        let threads = self.fan_threads.min(self.shards.len().max(1));
-        let slots = if threads <= 1 || self.shards.len() <= 1 {
-            self.shards.iter().map(|s| s.index.range(path)).collect()
+        let m = crate::metrics::shard();
+        m.fanout_queries.inc();
+        let k = self.shards.len();
+        if self.prune_enabled && path.edges().iter().any(|&e| !self.prune_union.contains(e)) {
+            // Corpus-level instant miss: some pattern edge occurs in no
+            // shard at all, so every per-shard search would return None.
+            m.fanout_union_rejects.inc();
+            m.fanout_shards_pruned.add(k as u64);
+            return vec![None; k];
+        }
+        // Once-per-query prune plan: which shards must actually search.
+        let visit: Vec<bool> = if self.prune_enabled {
+            self.shards
+                .iter()
+                .map(|s| s.pruning.rules_out(path).is_none())
+                .collect()
         } else {
-            let mut slots: Vec<Option<Range<usize>>> = vec![None; self.shards.len()];
-            let per = self.shards.len().div_ceil(threads);
+            vec![true; k]
+        };
+        let n_visit = visit.iter().filter(|&&v| v).count();
+        let threads = self.fan_threads.min(n_visit.max(1));
+        let slots = if threads <= 1 || n_visit <= 1 {
+            self.shards
+                .iter()
+                .zip(&visit)
+                .map(|(s, &v)| if v { s.index.range(path) } else { None })
+                .collect()
+        } else {
+            let mut slots: Vec<Option<Range<usize>>> = vec![None; k];
+            let per = k.div_ceil(threads);
             rayon::scope(|scope| {
-                for (sh_chunk, slot_chunk) in self.shards.chunks(per).zip(slots.chunks_mut(per)) {
+                for ((sh_chunk, visit_chunk), slot_chunk) in self
+                    .shards
+                    .chunks(per)
+                    .zip(visit.chunks(per))
+                    .zip(slots.chunks_mut(per))
+                {
                     scope.spawn(move |_| {
-                        for (sh, slot) in sh_chunk.iter().zip(slot_chunk.iter_mut()) {
-                            *slot = sh.index.range(path);
+                        for ((sh, &v), slot) in
+                            sh_chunk.iter().zip(visit_chunk).zip(slot_chunk.iter_mut())
+                        {
+                            if v {
+                                *slot = sh.index.range(path);
+                            }
                         }
                     });
                 }
@@ -594,13 +710,12 @@ impl ShardedCinct {
         };
         // Per-fan-out accounting: a few relaxed adds amortized over the
         // whole shard sweep, off the per-shard search loop.
-        let m = crate::metrics::shard();
         let matched = slots.iter().filter(|r| r.is_some()).count() as u64;
-        m.fanout_queries.inc();
-        m.fanout_shards_visited.add(slots.len() as u64);
+        m.fanout_shards_visited.add(n_visit as u64);
+        m.fanout_shards_pruned.add((k - n_visit) as u64);
         m.fanout_shards_matched.add(matched);
         m.fanout_shards_short_circuited
-            .add(slots.len() as u64 - matched);
+            .add(n_visit as u64 - matched);
         slots
     }
 
@@ -651,7 +766,13 @@ impl ShardedCinct {
         self.lookup.extend((0..len).map(|l| (s, l as u32)));
         self.bases
             .push(self.bases.last().unwrap() + index.text_len());
-        self.shards.push(Shard { index, globals });
+        let pruning = ShardPruning::derive(&index, self.n_edges, &globals);
+        self.prune_union.union_with(pruning.membership());
+        self.shards.push(Shard {
+            index,
+            globals,
+            pruning,
+        });
         first..first + len
     }
 
@@ -1042,6 +1163,83 @@ mod tests {
                 n_edges: 6
             })
         );
+    }
+
+    #[test]
+    fn pruning_skips_shards_and_preserves_outcomes() {
+        // Round-robin puts g % 2: shard 0 = [0,1,4,5],[1,2], shard 1 =
+        // [0,1,2],[0,3]. Edge 3 lives only in shard 1; edges 4 and 5
+        // only in shard 0.
+        let mut sharded = ShardedBuilder::new()
+            .shards(2)
+            .partition(ShardPartition::RoundRobin)
+            .locate_sampling(2)
+            .build(&paper_trajs(), 6);
+        assert!(sharded.pruning_enabled());
+        assert_eq!(sharded.pruned_edge(0, Path::new(&[0, 3])), Some(3));
+        assert_eq!(sharded.pruned_edge(1, Path::new(&[0, 3])), None);
+        assert_eq!(sharded.pruned_edge(1, Path::new(&[4, 5])), Some(4));
+        // Metric deltas are `>=`: the counters are process-global and
+        // other tests fan out concurrently.
+        let m = crate::metrics::shard();
+        let pruned_before = m.fanout_shards_pruned.get();
+        assert_eq!(sharded.count(Path::new(&[0, 3])), 1);
+        assert!(m.fanout_shards_pruned.get() > pruned_before);
+        // Corpus-level instant miss: an edge no shard contains.
+        let rejects_before = m.fanout_union_rejects.get();
+        assert_eq!(sharded.count(Path::new(&[0, 99])), 0);
+        assert!(m.fanout_union_rejects.get() > rejects_before);
+        // Pruned vs unpruned fan-outs are outcome-identical everywhere.
+        let mut unpruned = sharded.clone();
+        unpruned.set_pruning(false);
+        assert!(!unpruned.pruning_enabled());
+        assert_eq!(unpruned.pruned_edge(0, Path::new(&[0, 3])), None);
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                let p = [a, b];
+                let path = Path::new(&p);
+                assert_eq!(sharded.shard_ranges(path), unpruned.shard_ranges(path));
+                assert_eq!(sharded.count(path), unpruned.count(path), "path {p:?}");
+            }
+        }
+        // Appends keep the metadata (and the union) current.
+        sharded.append_batch(&[vec![2, 3]]).unwrap();
+        assert_eq!(sharded.pruned_edge(2, Path::new(&[2, 3])), None);
+        assert_eq!(sharded.shard_id_span(2), (4, 4));
+        assert_eq!(sharded.count(Path::new(&[2, 3])), 1);
+        // Compaction re-derives spans and membership for the new layout.
+        sharded.compact(2).unwrap();
+        for s in 0..sharded.num_shards() {
+            let (lo, hi) = sharded.shard_id_span(s);
+            for &g in sharded.shard_globals(s) {
+                assert!(sharded.shard_pruning(s).may_own_id(g));
+                assert!(lo <= g && g <= hi);
+            }
+        }
+        assert_eq!(sharded.count(Path::new(&[2, 3])), 1);
+    }
+
+    #[test]
+    fn shard_id_spans_cover_ownership() {
+        let trajs = synthetic_trajs(30, 15, 7);
+        for partition in [ShardPartition::RoundRobin, ShardPartition::SizeBalanced] {
+            let sharded = ShardedBuilder::new()
+                .shards(4)
+                .partition(partition)
+                .build(&trajs, 15);
+            for s in 0..sharded.num_shards() {
+                let (lo, hi) = sharded.shard_id_span(s);
+                let globals = sharded.shard_globals(s);
+                assert_eq!(lo, *globals.iter().min().unwrap());
+                assert_eq!(hi, *globals.iter().max().unwrap());
+            }
+            // The span routes every owned ID to (possibly) this shard and
+            // definitively rules out IDs outside it.
+            for g in 0..trajs.len() as u32 {
+                let (owner, _) = sharded.shard_of(g as usize);
+                assert!(sharded.shard_pruning(owner).may_own_id(g));
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,14 @@
 //! The manifest records the network size, the construction configuration
 //! (so [`ShardedCinct::append_batch`] after reopening builds new shards
 //! identically), and per shard: its trajectory count, the FNV-1a checksum
-//! of its file, and its global-ID column. The manifest itself ends with
-//! an FNV-1a checksum over everything before it, so truncation or bit rot
-//! anywhere in the file is caught before any field is trusted.
+//! of its file, its global-ID column, and (format v3) its **pruning
+//! block** — the edge-membership structure and owned global-ID span the
+//! fan-out skips shards with (see [`crate::prune`]). The manifest itself
+//! ends with an FNV-1a checksum over everything before it, so truncation
+//! or bit rot anywhere in the file — pruning blocks included — is caught
+//! before any field is trusted. Version 2 manifests (pre-pruning) still
+//! open: the metadata is re-derived, exactly, from each shard's `C`
+//! array.
 //!
 //! # Failure taxonomy (no panics)
 //!
@@ -40,9 +45,14 @@ use std::path::Path as FsPath;
 
 /// Manifest magic prefix ("CINCTS" as bytes, low 16 bits = format version).
 const MANIFEST_PREFIX: u64 = 0x4349_4e43_5453_0000;
-/// Current manifest format version (2 = records the WAL position the
-/// manifest absorbs, closing the save-vs-retire crash window).
-const MANIFEST_VERSION: u64 = 2;
+/// Current manifest format version (3 = per-shard pruning blocks: edge
+/// membership + owned global-ID span, appended to each shard's directory
+/// entry; 2 added the absorbed-WAL-position stamp).
+const MANIFEST_VERSION: u64 = 3;
+/// Oldest manifest version this build still opens. A v2 manifest (no
+/// pruning blocks) loads cleanly — pruning metadata is re-derived from
+/// each shard's own `C` array, which is exact and O(σ).
+const MANIFEST_MIN_VERSION: u64 = 2;
 /// The manifest file inside a sharded-index directory.
 pub const MANIFEST_FILE: &str = "manifest.cinct";
 /// Snapshot-stream magic prefix ("CINCSN" as bytes, low 16 bits = version).
@@ -286,9 +296,26 @@ impl ShardedCinct {
         shards: &[(String, Vec<u8>, u64)],
         wal_position: u64,
     ) -> Result<Vec<u8>, QueryError> {
+        self.manifest_bytes_at(shards, wal_position, MANIFEST_VERSION)
+    }
+
+    /// [`ShardedCinct::manifest_bytes`] at an explicit format version —
+    /// the downgrade path (and the compat tests' v2 writer): version 2
+    /// omits the per-shard pruning blocks, which a v3-aware open
+    /// re-derives from the shard indexes.
+    fn manifest_bytes_at(
+        &self,
+        shards: &[(String, Vec<u8>, u64)],
+        wal_position: u64,
+        version: u64,
+    ) -> Result<Vec<u8>, QueryError> {
+        assert!(
+            (MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version),
+            "unwritable manifest version {version}"
+        );
         let mut m: Vec<u8> = Vec::new();
         let w = &mut m as &mut dyn std::io::Write;
-        write_u64(w, MANIFEST_PREFIX | MANIFEST_VERSION)?;
+        write_u64(w, MANIFEST_PREFIX | version)?;
         write_u64(w, wal_position)?;
         write_usize(w, self.network_edges())?;
         let b = self.config().index_builder_config();
@@ -306,6 +333,9 @@ impl ShardedCinct {
             write_usize(w, self.shard_index(s).num_trajectories())?;
             write_u64(w, *checksum)?;
             self.shard_globals(s).to_vec().persist(w)?;
+            if version >= 3 {
+                self.shard_pruning(s).persist(w)?;
+            }
         }
         let digest = fnv64(&m);
         write_u64(&mut m, digest)?;
@@ -446,9 +476,10 @@ impl ShardedCinct {
             return Err(corrupt("not a CiNCT shard manifest (bad magic)"));
         }
         let version = magic & 0xffff;
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(corrupt(format!(
-                "unsupported shard manifest version {version} (this build reads {MANIFEST_VERSION})"
+                "unsupported shard manifest version {version} \
+                 (this build reads {MANIFEST_MIN_VERSION}..={MANIFEST_VERSION})"
             )));
         }
         // Integrity: trailing FNV over the whole body. Catches truncation
@@ -503,7 +534,16 @@ impl ShardedCinct {
             let n_local = read_usize(r)?;
             let checksum = read_u64(r)?;
             let globals: Vec<u32> = Persist::restore(r)?;
-            match load_shard(dir, s, &name, n_local, checksum, &globals, &mut seen) {
+            // v3 manifests carry the shard's pruning block; v2 predates
+            // it (load_shard re-derives from the index, exactly).
+            let pruning = if version >= 3 {
+                Some(crate::prune::ShardPruning::restore(r)?)
+            } else {
+                None
+            };
+            match load_shard(
+                dir, s, &name, n_local, checksum, &globals, pruning, n_edges, &mut seen,
+            ) {
                 Ok(shard) => shards.push(shard),
                 Err(e) if mode == OpenMode::Resilient => {
                     crate::metrics::store().quarantined.inc();
@@ -544,6 +584,11 @@ impl ShardedCinct {
 /// name, ID-column arity, namespace claims against `seen`), then the
 /// file itself (checksum before parse). Marks `seen` only on success so
 /// a rejected shard leaves no namespace footprint.
+///
+/// `pruning` is the manifest's v3 block when present; it is trusted only
+/// after a shape + ID-span sanity check, and re-derived from the loaded
+/// index otherwise (derivation is exact, so a v2 manifest — or a
+/// mismatched block — costs O(σ) per shard, never correctness).
 #[allow(clippy::too_many_arguments)]
 fn load_shard(
     dir: &FsPath,
@@ -552,6 +597,8 @@ fn load_shard(
     n_local: usize,
     checksum: u64,
     globals: &[u32],
+    pruning: Option<crate::prune::ShardPruning>,
+    n_edges: usize,
     seen: &mut [bool],
 ) -> Result<Shard, QueryError> {
     if name.contains(['/', '\\']) || name.contains("..") || name.is_empty() {
@@ -604,10 +651,16 @@ fn load_shard(
         CinctIndex::read_from(&mut Cursor::new(sbytes))
     })();
     match loaded {
-        Ok(index) => Ok(Shard {
-            index,
-            globals: globals.to_vec(),
-        }),
+        Ok(index) => {
+            let pruning = pruning
+                .filter(|p| p.matches(n_edges, globals))
+                .unwrap_or_else(|| crate::prune::ShardPruning::derive(&index, n_edges, globals));
+            Ok(Shard {
+                index,
+                globals: globals.to_vec(),
+                pruning,
+            })
+        }
         Err(e) => {
             rollback(seen, globals.len());
             Err(e)
@@ -629,7 +682,9 @@ pub(crate) fn manifest_wal_position(dir: &FsPath) -> Option<u64> {
         return None;
     }
     let magic = u64::from_le_bytes(bytes[..8].try_into().ok()?);
-    if magic & !0xffff != MANIFEST_PREFIX || magic & 0xffff != MANIFEST_VERSION {
+    if magic & !0xffff != MANIFEST_PREFIX
+        || !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&(magic & 0xffff))
+    {
         return None;
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
@@ -889,6 +944,94 @@ mod tests {
             ShardedCinct::open_dir(&dir),
             Err(QueryError::CorruptIndex(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_manifest_without_pruning_blocks_opens_cleanly() {
+        // Backward compat: a pre-pruning (v2) manifest must open, with
+        // pruning metadata re-derived from the shard indexes — and the
+        // reopened corpus must prune exactly like the original.
+        let dir = scratch("v2-compat");
+        let sharded = build_sharded();
+        sharded.save_dir(&dir).unwrap();
+        let shards = sharded.serialize_shards().unwrap();
+        let v2 = sharded.manifest_bytes_at(&shards, 7, 2).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), &v2).unwrap();
+        assert_eq!(manifest_wal_position(&dir), Some(7));
+        let back = ShardedCinct::open_dir(&dir).unwrap();
+        assert_eq!(back.num_trajectories(), sharded.num_trajectories());
+        for s in 0..back.num_shards() {
+            assert_eq!(
+                back.shard_pruning(s),
+                sharded.shard_pruning(s),
+                "derived pruning for shard {s} diverged from the original"
+            );
+        }
+        assert_eq!(back.count(Path::new(&[0, 1])), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_manifest_version_is_rejected_typed() {
+        // Forward compat: the version gate that would make an older (v2-
+        // only) build reject today's v3 manifests must reject tomorrow's
+        // v4 the same way — a typed CorruptIndex naming both versions.
+        let dir = scratch("v4-future");
+        build_sharded().save_dir(&dir).unwrap();
+        let mpath = dir.join(MANIFEST_FILE);
+        let mut future = std::fs::read(&mpath).unwrap();
+        future[..8].copy_from_slice(&(MANIFEST_PREFIX | (MANIFEST_VERSION + 1)).to_le_bytes());
+        std::fs::write(&mpath, &future).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => {
+                assert!(msg.contains("version 4"), "{msg}");
+                assert!(msg.contains("2..=3"), "{msg}");
+            }
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        // The WAL replay filter is equally strict about versions.
+        assert_eq!(manifest_wal_position(&dir), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_checksum_covers_the_pruning_block() {
+        // The pruning blocks sit between the shard directory and the
+        // trailing FNV checksum — a flipped bit inside one must fail the
+        // open before any field is trusted.
+        let dir = scratch("prune-bitflip");
+        build_sharded().save_dir(&dir).unwrap();
+        let mpath = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&mpath).unwrap();
+        // The last shard's pruning block ends 16 bytes (ID span) before
+        // the 8-byte checksum tail; flip a bit inside the span fields.
+        let idx = bytes.len() - 12;
+        bytes[idx] ^= 0x20;
+        std::fs::write(&mpath, &bytes).unwrap();
+        match ShardedCinct::open_dir(&dir) {
+            Err(QueryError::CorruptIndex(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected CorruptIndex, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_corpus_prunes_like_the_original() {
+        // Round-robin over the paper corpus puts edge 3 only in shard 1;
+        // the persisted pruning block must reproduce that skip on open.
+        let dir = scratch("prune-roundtrip");
+        let sharded = ShardedBuilder::new()
+            .shards(2)
+            .partition(ShardPartition::RoundRobin)
+            .build(&paper_trajs(), 6);
+        assert_eq!(sharded.pruned_edge(0, Path::new(&[0, 3])), Some(3));
+        sharded.save_dir(&dir).unwrap();
+        let back = ShardedCinct::open_dir(&dir).unwrap();
+        assert_eq!(back.pruned_edge(0, Path::new(&[0, 3])), Some(3));
+        assert_eq!(back.pruned_edge(1, Path::new(&[0, 3])), None);
+        assert_eq!(back.shard_id_span(0), sharded.shard_id_span(0));
+        assert_eq!(back.count(Path::new(&[0, 3])), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

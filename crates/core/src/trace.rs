@@ -60,6 +60,10 @@ pub struct ShardTrace {
     /// `true` when the range emptied before the last edge was consumed —
     /// the remaining steps never ran in this shard.
     pub short_circuited: bool,
+    /// `Some(edge)` when the shard was **pruned**: its edge-membership
+    /// set ruled out `edge`, so no backward search ran here at all
+    /// (steps is empty). The skipped search would have returned `None`.
+    pub pruned: Option<u32>,
     /// The fan-out remap stage (locate traces on locate-capable indexes).
     pub locate: Option<LocateTrace>,
 }
@@ -115,7 +119,20 @@ impl ShardTrace {
             shard,
             steps,
             short_circuited,
+            pruned: None,
             locate,
+        }
+    }
+
+    /// A trace entry for a shard the fan-out pruned: membership ruled
+    /// out `edge`, so no search stage ran.
+    fn pruned(shard: usize, edge: u32) -> ShardTrace {
+        ShardTrace {
+            shard,
+            steps: Vec::new(),
+            short_circuited: false,
+            pruned: Some(edge),
+            locate: None,
         }
     }
 }
@@ -175,7 +192,15 @@ impl QueryTrace {
             Vec::new()
         } else {
             (0..index.num_shards())
-                .map(|s| ShardTrace::run(s, index.shard_index(s), path, locate))
+                .map(|s| {
+                    // Mirror the live fan-out's prune decision (resolved
+                    // against the shard's membership set) so the trace
+                    // shows exactly which shards a real query skips.
+                    match index.pruned_edge(s, Path::new(path)) {
+                        Some(edge) => ShardTrace::pruned(s, edge),
+                        None => ShardTrace::run(s, index.shard_index(s), path, locate),
+                    }
+                })
                 .collect()
         };
         QueryTrace {
@@ -195,6 +220,11 @@ impl QueryTrace {
     /// Shards where the path was found.
     pub fn matched_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.matches() > 0).count()
+    }
+
+    /// Shards the fan-out pruned without running a search.
+    pub fn pruned_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.pruned.is_some()).count()
     }
 
     /// Render the per-shard, per-stage breakdown for terminal output.
@@ -223,6 +253,10 @@ impl QueryTrace {
         for sh in &self.shards {
             let outcome = match sh.final_range() {
                 Some(r) => format!("range {}..{} ({} matches)", r.start, r.end, r.len()),
+                None if sh.pruned.is_some() => format!(
+                    "pruned (edge {} absent from shard membership, search skipped)",
+                    sh.pruned.unwrap()
+                ),
                 None if sh.short_circuited => format!(
                     "absent (short-circuited after {} of {} steps)",
                     sh.steps.len(),
@@ -261,12 +295,19 @@ impl QueryTrace {
                 );
             }
         }
+        let pruned = self.pruned_shards();
+        let pruned_note = if pruned > 0 {
+            format!(" ({pruned} pruned)")
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "  total: {} matches in {}/{} shards, {:.2} us traced",
+            "  total: {} matches in {}/{} shards{}, {:.2} us traced",
             self.total_matches(),
             self.matched_shards(),
             self.shards.len(),
+            pruned_note,
             us(self.elapsed)
         );
         out
@@ -322,6 +363,36 @@ mod tests {
         assert_eq!(tr.invalid_edge, Some(99));
         assert!(tr.shards.is_empty());
         assert!(tr.render().contains("edge 99 is outside"));
+    }
+
+    #[test]
+    fn pruned_shards_are_traced_without_search_stages() {
+        use crate::shard::ShardPartition;
+        // Round-robin over the paper corpus: edge 3 lives only in shard
+        // 1 ([0,1,2],[0,3]); shard 0 ([0,1,4,5],[1,2]) is pruned.
+        let sharded = ShardedBuilder::new()
+            .shards(2)
+            .partition(ShardPartition::RoundRobin)
+            .build(&paper_trajs(), 6);
+        let tr = QueryTrace::sharded(&sharded, &[0, 3], false);
+        assert_eq!(tr.pruned_shards(), 1);
+        let pruned = &tr.shards[0];
+        assert_eq!(pruned.pruned, Some(3));
+        assert!(pruned.steps.is_empty());
+        assert_eq!(pruned.matches(), 0);
+        assert_eq!(tr.total_matches(), 1);
+        let rendered = tr.render();
+        assert!(
+            rendered.contains("shard 0: pruned (edge 3 absent"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("(1 pruned)"), "{rendered}");
+        // Disabling pruning removes the skip from the trace too.
+        let mut unpruned = sharded.clone();
+        unpruned.set_pruning(false);
+        let tr = QueryTrace::sharded(&unpruned, &[0, 3], false);
+        assert_eq!(tr.pruned_shards(), 0);
+        assert_eq!(tr.total_matches(), 1);
     }
 
     #[test]

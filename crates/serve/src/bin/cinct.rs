@@ -125,19 +125,20 @@ fn read_trajectories(path: &str) -> Result<(Vec<Vec<u32>>, usize), String> {
 }
 
 /// A loaded index, either flavor; queried through `&dyn PathQuery`.
-/// (The monolithic index is boxed: it is ~6x the sharded handle's size,
-/// and clippy's large-enum-variant lint is right that the enum should
-/// not carry that inline.)
+/// (Both variants are boxed: each handle is hundreds of bytes — the
+/// sharded one now carries the corpus-union edge membership — and
+/// clippy's large-enum-variant lint is right that the enum should not
+/// carry that inline.)
 enum Backend {
     Mono(Box<CinctIndex>),
-    Sharded(ShardedCinct),
+    Sharded(Box<ShardedCinct>),
 }
 
 impl Backend {
     fn as_query(&self) -> &dyn PathQuery {
         match self {
             Backend::Mono(i) => i.as_ref(),
-            Backend::Sharded(s) => s,
+            Backend::Sharded(s) => s.as_ref(),
         }
     }
 
@@ -161,7 +162,7 @@ impl Backend {
 fn load_any(path: &str) -> Result<Backend, String> {
     if std::path::Path::new(path).is_dir() {
         ShardedCinct::open_dir(path)
-            .map(Backend::Sharded)
+            .map(|s| Backend::Sharded(Box::new(s)))
             .map_err(|e| format!("load {path}: {e}"))
     } else {
         let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;

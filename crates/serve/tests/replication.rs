@@ -172,6 +172,50 @@ fn reclaimed_history_forces_a_snapshot_bootstrap() {
     assert_eq!(back.wal_next_seq(), primary.wal_next_seq());
 }
 
+#[test]
+fn bootstrap_preserves_fan_out_knob_and_prunes_like_primary() {
+    let (pdir, fdir) = (seed("knob-p"), seed("knob-f"));
+    let primary = durable_service(&pdir);
+    append_all(&primary);
+    // A follower tuned to a distinctive fan-out budget before it ever
+    // sees a snapshot. `bootstrap_snapshot` rebuilds the whole corpus,
+    // so the knob must be re-applied to the installed replacement.
+    let mut opened = ShardedCinct::open_dir(&fdir).unwrap();
+    opened.set_fan_out_threads(3);
+    let (wal, replay) = Wal::open(&fdir, Durability::Fast).unwrap();
+    let follower = CorpusService::new_durable(opened, 64, 4, wal, replay).unwrap();
+    assert_eq!(follower.stats().fan_out_threads, 3);
+    let stream = primary.snapshot_stream().unwrap();
+    follower.bootstrap_snapshot(&fdir, &stream).unwrap();
+    assert_eq!(
+        follower.stats().fan_out_threads,
+        3,
+        "snapshot install reset the fan-out knob"
+    );
+    assert_eq!(fingerprint(&follower), fingerprint(&primary));
+    // Pruning metadata rides inside the snapshot's manifest: the
+    // bootstrapped follower makes the same skip decisions as the
+    // primary and answers the selective pattern identically. Edge 2
+    // lands only in the size-balanced shard {[0,1,2],[1,2],[2,3,4]},
+    // so [1,2] deterministically prunes at least one shard.
+    let selective = [1u32, 2];
+    let decisions = |svc: &CorpusService| {
+        svc.with_corpus(|c| {
+            (0..c.num_shards())
+                .map(|s| c.pruned_edge(s, Path::new(&selective)))
+                .collect::<Vec<_>>()
+        })
+    };
+    let f_decisions = decisions(&follower);
+    assert_eq!(f_decisions, decisions(&primary));
+    assert!(
+        f_decisions.iter().any(|d| d.is_some()),
+        "no shard was pruned for the selective pattern: {f_decisions:?}"
+    );
+    let count = |svc: &CorpusService| svc.with_corpus(|c| c.count(Path::new(&selective)));
+    assert_eq!(count(&follower), count(&primary));
+}
+
 // ---------------------------------------------------------------------
 // The crash matrices: kill the primary mid-append and mid-save, the
 // follower mid-apply and mid-bootstrap, at *every* injection point.

@@ -177,6 +177,69 @@ proptest! {
         }
     }
 
+    /// Shard pruning never changes answers: across K ∈ {1, 2, 8}, both
+    /// partition strategies, and the append/compact lifecycle, the
+    /// pruned fan-out (default) matches a pruning-disabled clone AND
+    /// the monolithic index on every probe — a pruned shard's backward
+    /// search would have returned `None`, so skipping it is invisible.
+    #[test]
+    fn pruned_fan_out_is_outcome_identical(
+        (trajs, n_edges) in corpus_strategy(),
+        partition_sel in any::<bool>(),
+    ) {
+        let partition = if partition_sel {
+            ShardPartition::RoundRobin
+        } else {
+            ShardPartition::SizeBalanced
+        };
+        let index_builder = CinctBuilder::new().locate_sampling(2);
+        let mono = index_builder.build(&trajs, n_edges);
+        let base_len = trajs.len() - trajs.len() / 3;
+        for k in [1usize, 2, 8] {
+            let mut sharded = ShardedBuilder::new()
+                .shards(k)
+                .partition(partition)
+                .index_builder(index_builder)
+                .threads(1)
+                .build(&trajs[..base_len], n_edges);
+            prop_assert!(sharded.pruning_enabled());
+            let tail = &trajs[base_len..];
+            if !tail.is_empty() {
+                let split = tail.len().div_ceil(2);
+                for batch in tail.chunks(split) {
+                    sharded.append_batch(batch).expect("valid batch");
+                }
+            }
+            for stage in ["appended", "compacted"] {
+                if stage == "compacted" {
+                    sharded.compact(k).expect("compact");
+                }
+                let mut unpruned = sharded.clone();
+                unpruned.set_pruning(false);
+                for p in probe_paths(&trajs, n_edges) {
+                    let path = Path::new(&p);
+                    let want = mono.count(path);
+                    prop_assert_eq!(
+                        sharded.count(path), want, "K={} {}: pruned count {:?}", k, stage, &p
+                    );
+                    prop_assert_eq!(
+                        unpruned.count(path), want, "K={} {}: unpruned count {:?}", k, stage, &p
+                    );
+                    prop_assert_eq!(
+                        sharded.shard_ranges(path),
+                        unpruned.shard_ranges(path),
+                        "K={} {}: shard ranges {:?}", k, stage, &p
+                    );
+                    prop_assert_eq!(
+                        sharded.occurrences(path).unwrap().collect_sorted(),
+                        unpruned.occurrences(path).unwrap().collect_sorted(),
+                        "K={} {}: occurrences {:?}", k, stage, &p
+                    );
+                }
+            }
+        }
+    }
+
     /// Fan-out parallelism never changes answers: a sharded index with
     /// parallel fan-out matches its own sequential fan-out on every
     /// probe (same corpus, same shards).
